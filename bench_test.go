@@ -1,0 +1,92 @@
+package itlbcfr_test
+
+// One benchmark per table/figure of the paper's evaluation. Each iteration
+// regenerates the table from scratch (fresh Runner, fresh simulations) at a
+// reduced instruction count so the full bench suite completes in minutes;
+// use cmd/itlbtables for full-length regeneration.
+
+import (
+	"testing"
+
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/exp"
+	"itlbcfr/internal/sim"
+	"itlbcfr/internal/workload"
+)
+
+const (
+	benchN    = 100_000
+	benchWarm = 30_000
+)
+
+func benchTable(b *testing.B, gen func(*exp.Runner) exp.Table) {
+	b.Helper()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchN, benchWarm)
+		t := gen(r)
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkTable2(b *testing.B) { benchTable(b, exp.Table2) }
+func BenchmarkTable3(b *testing.B) { benchTable(b, exp.Table3) }
+func BenchmarkTable4(b *testing.B) { benchTable(b, exp.Table4) }
+func BenchmarkTable5(b *testing.B) { benchTable(b, exp.Table5) }
+func BenchmarkTable6(b *testing.B) { benchTable(b, exp.Table6) }
+func BenchmarkTable7(b *testing.B) { benchTable(b, exp.Table7) }
+func BenchmarkTable8(b *testing.B) { benchTable(b, exp.Table8) }
+
+func BenchmarkFigure4(b *testing.B) {
+	// Also report the headline number: IA's average normalized VI-PT
+	// energy (the paper's ">85% savings" claim, Figure 4 top).
+	var avgIA float64
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchN, benchWarm)
+		var sum float64
+		for _, p := range workload.Profiles() {
+			base := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT})
+			ia := r.Get(sim.Options{Profile: p, Scheme: core.IA, Style: cache.VIPT})
+			sum += ia.EnergyMJ / base.EnergyMJ
+		}
+		avgIA = sum / float64(len(workload.Profiles()))
+	}
+	b.ReportMetric(avgIA*100, "IA_pct_of_base_energy")
+}
+
+func BenchmarkFigure5(b *testing.B) { benchTable(b, exp.Figure5) }
+func BenchmarkFigure6(b *testing.B) { benchTable(b, exp.Figure6) }
+
+func BenchmarkSweepPageSize(b *testing.B) { benchTable(b, exp.PageSizeSweep) }
+func BenchmarkSweepIL1(b *testing.B)      { benchTable(b, exp.IL1Sweep) }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (instructions
+// per wall second) for the default configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim.MustRun(sim.Options{
+			Profile: workload.Mesa(), Scheme: core.IA, Style: cache.VIPT,
+			Instructions: 500_000, Warmup: 1,
+		})
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(500_000*b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkAblationCFRCheckpoint quantifies the cost of CFR checkpointing
+// by comparing IA (checkpoint per CTI) against HoA (no branch machinery) —
+// the design choice DESIGN.md calls out for the IA scheme.
+func BenchmarkAblationCFRCheckpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim.MustRun(sim.Options{
+			Profile: workload.Crafty(), Scheme: core.IA, Style: cache.VIPT,
+			Instructions: 200_000, Warmup: 1,
+		})
+		sim.MustRun(sim.Options{
+			Profile: workload.Crafty(), Scheme: core.HoA, Style: cache.VIPT,
+			Instructions: 200_000, Warmup: 1,
+		})
+	}
+}

@@ -1,0 +1,147 @@
+// Command calibrate reports the dynamic stream statistics of each synthetic
+// benchmark next to the paper's published targets. It exists to tune the
+// workload profiles: run it after touching internal/workload/profiles.go.
+//
+//	go run ./cmd/calibrate [-n steps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"itlbcfr/internal/addr"
+	"itlbcfr/internal/bpred"
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/compiler"
+	"itlbcfr/internal/isa"
+	"itlbcfr/internal/program"
+	"itlbcfr/internal/workload"
+)
+
+// target is the paper's published characteristic set for one benchmark.
+type target struct {
+	brFrac    float64 // Table 2 col 7: dynamic branch fraction
+	boundary  float64 // Table 2: BOUNDARY share of page crossings
+	analyz    float64 // Table 4: dynamic analyzable fraction
+	inPage    float64 // Table 4: in-page share of dynamic analyzable
+	accuracy  float64 // Table 5
+	il1Miss   float64 // Table 2 col 6
+	crossFrac float64 // page crossings per instruction (derived: crossings/250M)
+}
+
+var targets = map[string]target{
+	"177.mesa":   {0.089, 0.0177, 0.811, 0.730, 0.9414, 0.002, 0.0224},
+	"186.crafty": {0.126, 0.0109, 0.876, 0.759, 0.9116, 0.014, 0.0322},
+	"191.fma3d":  {0.186, 0.0011, 0.879, 0.709, 0.9582, 0.011, 0.0487},
+	"252.eon":    {0.123, 0.0199, 0.745, 0.698, 0.8523, 0.010, 0.0626},
+	"254.gap":    {0.073, 0.1131, 0.902, 0.592, 0.8955, 0.006, 0.0255},
+	"255.vortex": {0.166, 0.0575, 0.877, 0.734, 0.9738, 0.027, 0.0402},
+}
+
+func main() {
+	n := flag.Int("n", 1_000_000, "instructions to execute per benchmark")
+	flag.Parse()
+
+	fmt.Printf("%-12s %-14s %-14s %-14s %-14s %-14s %-14s %-10s\n",
+		"bench", "brFrac", "boundary%", "analyzable", "inPage", "accuracy", "iL1miss", "pages")
+	for _, p := range workload.Profiles() {
+		m, err := measure(p, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tg := targets[p.Name]
+		pair := func(got, want float64) string { return fmt.Sprintf("%.3f/%.3f", got, want) }
+		fmt.Printf("%-12s %-14s %-14s %-14s %-14s %-14s %-14s %-10d\n",
+			p.Name,
+			pair(m.brFrac, tg.brFrac),
+			pair(m.boundary, tg.boundary),
+			pair(m.analyz, tg.analyz),
+			pair(m.inPage, tg.inPage),
+			pair(m.accuracy, tg.accuracy),
+			pair(m.il1Miss, tg.il1Miss),
+			m.pages,
+		)
+		fmt.Printf("%-12s crossings/inst %.4f/%.4f  static: total=%d analyzable=%.3f inpage=%.3f\n",
+			"", m.crossFrac, tg.crossFrac, m.staticTotal, m.staticAnalyz, m.staticInPage)
+	}
+}
+
+type measured struct {
+	brFrac, boundary, analyz, inPage, accuracy, il1Miss, crossFrac float64
+	pages, staticTotal                                             int
+	staticAnalyz, staticInPage                                     float64
+}
+
+func measure(p workload.Profile, n int) (measured, error) {
+	img, err := workload.Generate(p)
+	if err != nil {
+		return measured{}, err
+	}
+	comp, st, err := compiler.Compile(img, compiler.Options{InsertBoundaryStubs: true})
+	if err != nil {
+		return measured{}, err
+	}
+	ex := program.NewExecutor(comp, p.Seed^0xC0FFEE, p.DataStreams())
+	pred := bpred.New(bpred.Default)
+	il1 := cache.New(cache.Config{SizeBytes: 8 << 10, BlockBytes: 32, Assoc: 1, LatencyCycles: 1})
+	geom := comp.Geom
+
+	var (
+		ctis, analyz, inPage, boundary, branchCross uint64
+		insts                                       uint64
+		kindCount                                   [isa.NumKinds]uint64
+	)
+	for int(insts) < n {
+		s := ex.Step()
+		insts++
+		il1.Access(uint64(s.PC), uint64(s.PC), false)
+		k := s.Inst.Kind
+		if k.IsCTI() && !s.Inst.BoundaryStub {
+			ctis++
+			kindCount[k]++
+			if k.IsDirect() {
+				analyz++
+				if s.Inst.InPage {
+					inPage++
+				}
+			}
+			pr := pred.Predict(s.PC, k)
+			pred.Resolve(s.PC, k, pr, s.Taken, s.Next)
+		}
+		if !geom.SamePage(s.PC, s.Next) {
+			if s.Next == s.PC+addr.InstBytes || s.Inst.BoundaryStub {
+				boundary++
+			} else {
+				branchCross++
+			}
+		}
+		_ = isa.NumKinds
+	}
+	cross := boundary + branchCross
+	if ctis > 0 {
+		fmt.Printf("%-12s kinds: br=%.2f jmp=%.2f call=%.2f ret=%.2f ijmp=%.2f\n", "",
+			float64(kindCount[isa.CondBranch])/float64(ctis),
+			float64(kindCount[isa.Jump])/float64(ctis),
+			float64(kindCount[isa.Call])/float64(ctis),
+			float64(kindCount[isa.Ret])/float64(ctis),
+			float64(kindCount[isa.IndJump])/float64(ctis))
+	}
+	m := measured{
+		brFrac:       float64(ctis) / float64(insts),
+		analyz:       float64(analyz) / float64(ctis),
+		inPage:       float64(inPage) / float64(analyz),
+		accuracy:     pred.Stats().Accuracy(),
+		il1Miss:      il1.MissRate(),
+		crossFrac:    float64(cross) / float64(insts),
+		pages:        comp.Pages(),
+		staticTotal:  st.TotalSites,
+		staticAnalyz: st.AnalyzableFrac(),
+		staticInPage: st.InPageFrac(),
+	}
+	if cross > 0 {
+		m.boundary = float64(boundary) / float64(cross)
+	}
+	return m, nil
+}

@@ -1,0 +1,119 @@
+// Command itlbsim runs a single simulation and prints its full result:
+// one benchmark, one translation scheme, one iL1 addressing style, one iTLB
+// organization.
+//
+//	itlbsim -bench vortex -scheme IA -style VI-VT -itlb 32
+//	itlbsim -bench mesa -scheme Base -style PI-PT -itlb 16x2
+//	itlbsim -bench gap -scheme IA -itlb 1+32      # two-level serial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/sim"
+	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/workload"
+)
+
+func parseStyle(s string) (cache.Style, error) {
+	switch strings.ToUpper(strings.ReplaceAll(s, "-", "")) {
+	case "VIVT":
+		return cache.VIVT, nil
+	case "VIPT":
+		return cache.VIPT, nil
+	case "PIPT":
+		return cache.PIPT, nil
+	}
+	return 0, fmt.Errorf("unknown style %q (VI-VT, VI-PT, PI-PT)", s)
+}
+
+// parseITLB accepts "32" (FA), "16x2" (entries x assoc) and "1+32"
+// (two-level serial FA).
+func parseITLB(s string) (tlb.Config, error) {
+	if s == "" {
+		return sim.DefaultITLB(), nil
+	}
+	if lv := strings.Split(s, "+"); len(lv) == 2 {
+		l1, err1 := strconv.Atoi(lv[0])
+		l2, err2 := strconv.Atoi(lv[1])
+		if err1 != nil || err2 != nil {
+			return tlb.Config{}, fmt.Errorf("bad two-level iTLB %q", s)
+		}
+		return tlb.TwoLevel(l1, l1, l2, l2, false), nil
+	}
+	if xa := strings.Split(s, "x"); len(xa) == 2 {
+		e, err1 := strconv.Atoi(xa[0])
+		a, err2 := strconv.Atoi(xa[1])
+		if err1 != nil || err2 != nil {
+			return tlb.Config{}, fmt.Errorf("bad iTLB geometry %q", s)
+		}
+		return tlb.Mono(e, a), nil
+	}
+	e, err := strconv.Atoi(s)
+	if err != nil {
+		return tlb.Config{}, fmt.Errorf("bad iTLB %q", s)
+	}
+	return tlb.Mono(e, e), nil
+}
+
+func main() {
+	bench := flag.String("bench", "mesa", "benchmark (mesa, crafty, fma3d, eon, gap, vortex)")
+	scheme := flag.String("scheme", "IA", "translation scheme (Base, OPT, HoA, SoCA, SoLA, IA)")
+	style := flag.String("style", "VI-PT", "iL1 addressing (VI-VT, VI-PT, PI-PT)")
+	itlbSpec := flag.String("itlb", "32", "iTLB: N (FA), NxA (set-assoc), N+M (two-level serial)")
+	n := flag.Uint64("n", sim.DefaultInstructions, "committed instructions")
+	warm := flag.Uint64("warmup", sim.DefaultWarmup, "warm-up instructions")
+	page := flag.Uint64("page", 0, "page size in bytes (0 = 4096)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fail(err)
+	}
+	sch, err := core.ParseScheme(*scheme)
+	if err != nil {
+		fail(err)
+	}
+	st, err := parseStyle(*style)
+	if err != nil {
+		fail(err)
+	}
+	itlbCfg, err := parseITLB(*itlbSpec)
+	if err != nil {
+		fail(err)
+	}
+
+	res, err := sim.Run(sim.Options{
+		Profile: prof, Scheme: sch, Style: st, ITLB: itlbCfg,
+		Instructions: *n, Warmup: *warm, PageBytes: *page,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("benchmark        %s\n", res.Bench)
+	fmt.Printf("scheme / style   %s / %s\n", res.Scheme, res.Style)
+	fmt.Printf("committed        %d (+%d boundary stubs)\n", res.Committed, res.Stubs)
+	fmt.Printf("cycles           %d (IPC %.2f)\n", res.Cycles, res.IPC())
+	fmt.Printf("iTLB energy      %.6f mJ\n", res.EnergyMJ)
+	fmt.Printf("iTLB lookups     %d (BOUNDARY %d, BRANCH %d, base %d)\n",
+		res.Engine.Lookups, res.Engine.LookupsBoundary, res.Engine.LookupsBranch, res.Engine.LookupsBase)
+	fmt.Printf("iTLB walks       %d\n", res.ITLB.Walks)
+	fmt.Printf("CFR hits         %d, comparator ops %d\n", res.Engine.CFRHits, res.Engine.Comparisons)
+	fmt.Printf("iL1 miss rate    %.4f (%d misses / %d accesses)\n",
+		res.IL1MissRate(), res.IL1.Misses, res.IL1.Accesses)
+	fmt.Printf("branch accuracy  %.2f%% over %d CTIs\n", 100*res.Bpred.Accuracy(), res.Bpred.Lookups)
+	fmt.Printf("page crossings   BOUNDARY %d, BRANCH %d\n", res.CrossBoundary, res.CrossBranch)
+	fmt.Printf("wrong-path fetch %d\n", res.WrongPathFetches)
+}

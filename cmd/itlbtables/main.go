@@ -1,0 +1,54 @@
+// Command itlbtables regenerates the paper's evaluation: every table and
+// figure of Kadayif et al., "Generating Physical Addresses Directly for
+// Saving Instruction TLB Energy" (MICRO 2002), plus the §4.4 sensitivity
+// sweeps.
+//
+//	itlbtables                 # everything
+//	itlbtables -only 6         # just Table 6
+//	itlbtables -only figure4   # just Figure 4
+//	itlbtables -n 250000       # shorter runs
+//
+// Identifiers for -only: 1..8, figure4, figure5, figure6, sweep-page,
+// sweep-il1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"itlbcfr/internal/exp"
+	"itlbcfr/internal/sim"
+)
+
+func main() {
+	n := flag.Uint64("n", sim.DefaultInstructions, "committed instructions per simulation")
+	warm := flag.Uint64("warmup", sim.DefaultWarmup, "warm-up instructions before measurement")
+	only := flag.String("only", "", "regenerate a single table/figure (see -list)")
+	list := flag.Bool("list", false, "list table/figure identifiers and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(exp.IDs(), "\n"))
+		return
+	}
+
+	runner := exp.NewRunner(*n, *warm)
+	start := time.Now()
+
+	if *only != "" {
+		tb, err := exp.ByID(runner, *only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(tb.Render())
+	} else {
+		for _, tb := range exp.All(runner) {
+			fmt.Println(tb.Render())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d simulations, %.1fs\n", runner.Runs(), time.Since(start).Seconds())
+}

@@ -1,0 +1,24 @@
+// Package itlbcfr is a from-scratch reproduction of Kadayif,
+// Sivasubramaniam, Kandemir, Kandiraju and Chen, "Generating Physical
+// Addresses Directly for Saving Instruction TLB Energy", MICRO 2002.
+//
+// The library implements the paper's Current Frame Register (CFR) and its
+// four iTLB-avoidance schemes (HoA, SoCA, SoLA, IA) together with every
+// substrate the evaluation depends on: a cycle-level out-of-order front-end
+// model with speculative wrong-path fetch, set-associative caches under all
+// three iL1 addressing styles (VI-VT, VI-PT, PI-PT), one- and two-level
+// TLBs, a bimodal+BTB+RAS branch predictor, a CACTI-anchored energy model,
+// a synthetic-benchmark generator calibrated to the paper's six SPECcpu2000
+// programs, and the compiler pass (BOUNDARY stubs, in-page bits) the
+// software schemes require.
+//
+// Entry points:
+//
+//   - internal/sim.Run — one simulation (benchmark × scheme × style × iTLB)
+//   - internal/exp — regenerates every table and figure of the paper
+//   - cmd/itlbsim, cmd/itlbtables — command-line front ends
+//   - examples/ — runnable walkthroughs
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results next to the paper's.
+package itlbcfr

@@ -1,0 +1,222 @@
+package bpred
+
+import (
+	"testing"
+
+	"itlbcfr/internal/addr"
+	"itlbcfr/internal/isa"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{BimodalEntries: 1000, BTBEntries: 1024, BTBAssoc: 2},
+		{BimodalEntries: 2048, BTBEntries: 1000, BTBAssoc: 2},
+		{BimodalEntries: 2048, BTBEntries: 1024, BTBAssoc: 3},
+		{BimodalEntries: 2048, BTBEntries: 1024, BTBAssoc: 2, MispredictPenalty: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+}
+
+func TestBimodalLearnsTaken(t *testing.T) {
+	p := New(Default)
+	pc := addr.VAddr(0x1000)
+	target := addr.VAddr(0x2000)
+	// Train taken several times.
+	for i := 0; i < 4; i++ {
+		pred := p.Predict(pc, isa.CondBranch)
+		p.Resolve(pc, isa.CondBranch, pred, true, target)
+	}
+	pred := p.Predict(pc, isa.CondBranch)
+	if !pred.Taken || pred.Target != target || !pred.BTBHit {
+		t.Errorf("trained prediction = %+v", pred)
+	}
+}
+
+func TestBimodalLearnsNotTaken(t *testing.T) {
+	p := New(Default)
+	pc := addr.VAddr(0x1000)
+	for i := 0; i < 4; i++ {
+		pred := p.Predict(pc, isa.CondBranch)
+		p.Resolve(pc, isa.CondBranch, pred, false, 0)
+	}
+	if pred := p.Predict(pc, isa.CondBranch); pred.Taken {
+		t.Error("should predict not-taken after training")
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	// 2-bit counters tolerate one anomaly without flipping.
+	p := New(Default)
+	pc := addr.VAddr(0x40)
+	tgt := addr.VAddr(0x80)
+	for i := 0; i < 4; i++ {
+		p.Resolve(pc, isa.CondBranch, p.Predict(pc, isa.CondBranch), true, tgt)
+	}
+	p.Resolve(pc, isa.CondBranch, p.Predict(pc, isa.CondBranch), false, 0)
+	if pred := p.Predict(pc, isa.CondBranch); !pred.Taken {
+		t.Error("one not-taken must not flip a saturated counter")
+	}
+	p.Resolve(pc, isa.CondBranch, p.Predict(pc, isa.CondBranch), false, 0)
+	p.Resolve(pc, isa.CondBranch, p.Predict(pc, isa.CondBranch), false, 0)
+	if pred := p.Predict(pc, isa.CondBranch); pred.Taken {
+		t.Error("three not-taken must flip the counter")
+	}
+}
+
+func TestUnconditionalNeedsBTB(t *testing.T) {
+	p := New(Default)
+	pc := addr.VAddr(0x3000)
+	tgt := addr.VAddr(0x9000)
+	// Cold: BTB miss, cannot redirect.
+	pred := p.Predict(pc, isa.Jump)
+	if pred.Taken || pred.BTBHit {
+		t.Errorf("cold unconditional should predict fall-through: %+v", pred)
+	}
+	if p.Resolve(pc, isa.Jump, pred, true, tgt) {
+		t.Error("cold unconditional must count as mispredicted")
+	}
+	// Warm: BTB hit supplies the target.
+	pred = p.Predict(pc, isa.Jump)
+	if !pred.Taken || pred.Target != tgt || !pred.BTBHit {
+		t.Errorf("warm unconditional: %+v", pred)
+	}
+	if !p.Resolve(pc, isa.Jump, pred, true, tgt) {
+		t.Error("warm unconditional should be correct")
+	}
+}
+
+func TestIndirectTargetChange(t *testing.T) {
+	p := New(Default)
+	pc := addr.VAddr(0x500)
+	t1 := addr.VAddr(0x600)
+	t2 := addr.VAddr(0x700)
+	p.Resolve(pc, isa.IndJump, p.Predict(pc, isa.IndJump), true, t1)
+	pred := p.Predict(pc, isa.IndJump)
+	if pred.Target != t1 {
+		t.Fatalf("BTB should hold t1, got %#x", uint64(pred.Target))
+	}
+	// Actual target changed: wrong-target misprediction.
+	if p.Resolve(pc, isa.IndJump, pred, true, t2) {
+		t.Error("target change must be a misprediction")
+	}
+	s := p.Stats()
+	if s.TargetWrong != 1 {
+		t.Errorf("TargetWrong = %d, want 1", s.TargetWrong)
+	}
+	if pred := p.Predict(pc, isa.IndJump); pred.Target != t2 {
+		t.Error("BTB should retrain to t2")
+	}
+}
+
+func TestRASPredictsReturns(t *testing.T) {
+	p := New(Default)
+	callPC := addr.VAddr(0x100)
+	retPC := addr.VAddr(0x900)
+	// Predict the call: pushes 0x104 onto the RAS.
+	pr := p.Predict(callPC, isa.Call)
+	p.Resolve(callPC, isa.Call, pr, true, retPC-0x800)
+	// The return is now predicted from the RAS even with a cold BTB.
+	pred := p.Predict(retPC, isa.Ret)
+	if !pred.Taken || pred.Target != callPC+4 {
+		t.Fatalf("RAS prediction = %+v, want target %#x", pred, uint64(callPC+4))
+	}
+	if !p.Resolve(retPC, isa.Ret, pred, true, callPC+4) {
+		t.Error("RAS-predicted return should be correct")
+	}
+}
+
+func TestRASNesting(t *testing.T) {
+	p := New(Default)
+	// Nested calls return in LIFO order.
+	p.Predict(0x100, isa.Call)
+	p.Predict(0x200, isa.Call)
+	if pred := p.Predict(0x900, isa.Ret); pred.Target != 0x204 {
+		t.Errorf("inner return predicted %#x, want 0x204", uint64(pred.Target))
+	}
+	if pred := p.Predict(0x908, isa.Ret); pred.Target != 0x104 {
+		t.Errorf("outer return predicted %#x, want 0x104", uint64(pred.Target))
+	}
+	// Underflow: falls back to the (cold) BTB -> no redirect.
+	if pred := p.Predict(0x910, isa.Ret); pred.Taken {
+		t.Errorf("empty RAS + cold BTB should not redirect: %+v", pred)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	cfg := Default
+	cfg.RASEntries = 2
+	p := New(cfg)
+	p.Predict(0x100, isa.Call)
+	p.Predict(0x200, isa.Call)
+	p.Predict(0x300, isa.Call) // overwrites the oldest
+	if pred := p.Predict(0x900, isa.Ret); pred.Target != 0x304 {
+		t.Errorf("top of RAS = %#x, want 0x304", uint64(pred.Target))
+	}
+	if pred := p.Predict(0x908, isa.Ret); pred.Target != 0x204 {
+		t.Errorf("second = %#x, want 0x204", uint64(pred.Target))
+	}
+}
+
+func TestRASDisabled(t *testing.T) {
+	cfg := Default
+	cfg.RASEntries = 0
+	p := New(cfg)
+	p.Predict(0x100, isa.Call)
+	if pred := p.Predict(0x900, isa.Ret); pred.Taken {
+		t.Errorf("with no RAS and a cold BTB, returns cannot redirect: %+v", pred)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	p := New(Default) // 512 sets × 2 ways
+	stride := addr.VAddr(512 * 4)
+	a, b, c := addr.VAddr(0), stride, 2*stride // same BTB set
+	tgt := addr.VAddr(0x1234)
+	p.Resolve(a, isa.Jump, p.Predict(a, isa.Jump), true, tgt)
+	p.Resolve(b, isa.Jump, p.Predict(b, isa.Jump), true, tgt)
+	p.Resolve(a, isa.Jump, p.Predict(a, isa.Jump), true, tgt) // refresh a
+	p.Resolve(c, isa.Jump, p.Predict(c, isa.Jump), true, tgt) // evicts b
+	if pred := p.Predict(b, isa.Jump); pred.BTBHit {
+		t.Error("b should have been evicted from its 2-way set")
+	}
+	if pred := p.Predict(a, isa.Jump); !pred.BTBHit {
+		t.Error("a should survive as MRU")
+	}
+}
+
+func TestAccuracyStats(t *testing.T) {
+	p := New(Default)
+	pc := addr.VAddr(0x1000)
+	tgt := addr.VAddr(0x2000)
+	// 1 cold miss + training, then correct predictions.
+	for i := 0; i < 10; i++ {
+		pred := p.Predict(pc, isa.CondBranch)
+		p.Resolve(pc, isa.CondBranch, pred, true, tgt)
+	}
+	s := p.Stats()
+	if s.Lookups != 10 {
+		t.Fatalf("Lookups = %d", s.Lookups)
+	}
+	if s.Accuracy() <= 0.8 {
+		t.Errorf("Accuracy = %v, want > 0.8 on a monotone branch", s.Accuracy())
+	}
+	if (Stats{}).Accuracy() != 0 {
+		t.Error("empty stats accuracy should be 0")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{BimodalEntries: 3, BTBEntries: 1024, BTBAssoc: 2})
+}

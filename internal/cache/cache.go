@@ -1,0 +1,226 @@
+// Package cache models set-associative caches with LRU replacement.
+//
+// The same structure serves the iL1, dL1 and unified L2 of the paper's
+// Table 1. Cache addressing style (VI-VT, VI-PT, PI-PT — §2 of the paper) is
+// a property of *how the caller forms the index and tag*, not of the array
+// itself, so Access takes the two addresses separately: the pipeline passes
+// (virtual, virtual) for VI-VT, (virtual, physical) for VI-PT and
+// (physical, physical) for PI-PT.
+package cache
+
+import "fmt"
+
+// Style enumerates iL1 lookup disciplines (§2).
+type Style int
+
+const (
+	// VIVT indexes and tags with the virtual address; the iTLB is needed
+	// only on a miss (StrongARM-style).
+	VIVT Style = iota
+	// VIPT indexes with the virtual address and tags with the physical
+	// address; the iTLB is probed in parallel on every fetch.
+	VIPT
+	// PIPT indexes and tags with the physical address; translation
+	// serializes before cache indexing.
+	PIPT
+)
+
+func (s Style) String() string {
+	switch s {
+	case VIVT:
+		return "VI-VT"
+	case VIPT:
+		return "VI-PT"
+	case PIPT:
+		return "PI-PT"
+	}
+	return fmt.Sprintf("style(%d)", int(s))
+}
+
+// NeedsTranslationEveryFetch reports whether the style consumes a physical
+// address on every instruction fetch (the "eager" styles).
+func (s Style) NeedsTranslationEveryFetch() bool { return s != VIVT }
+
+// Config describes one cache.
+type Config struct {
+	SizeBytes  int
+	BlockBytes int
+	Assoc      int
+	// LatencyCycles is the hit latency.
+	LatencyCycles int
+	// WriteBack enables dirty-bit tracking and write-back victims.
+	WriteBack bool
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.BlockBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes%(c.BlockBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by block*assoc", c.SizeBytes)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache: block size %d not a power of two", c.BlockBytes)
+	}
+	sets := c.SizeBytes / (c.BlockBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Assoc) }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	WriteBacks uint64
+}
+
+// Cache is a set-associative, LRU, optionally write-back cache.
+type Cache struct {
+	cfg       Config
+	sets      int
+	blockBits uint
+	lines     []line
+	tick      uint64
+	stats     Stats
+}
+
+// New builds a cache, panicking on invalid geometry (a programming error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	bb := uint(0)
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		bb++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      cfg.Sets(),
+		blockBits: bb,
+		lines:     make([]line, cfg.Sets()*cfg.Assoc),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(indexAddr uint64) int {
+	return int(indexAddr>>c.blockBits) & (c.sets - 1)
+}
+
+func (c *Cache) tagOf(tagAddr uint64) uint64 {
+	// Tag carries every bit above the block offset so that (for example) two
+	// physical pages mapping to the same virtual index still disambiguate.
+	return tagAddr >> c.blockBits
+}
+
+func (c *Cache) ways(set int) []line {
+	return c.lines[set*c.cfg.Assoc : (set+1)*c.cfg.Assoc]
+}
+
+// Result describes one access.
+type Result struct {
+	Hit bool
+	// WriteBack reports that a dirty victim was evicted and must be written
+	// to the next level.
+	WriteBack bool
+}
+
+// Access looks up the block containing the address. indexAddr selects the
+// set, tagAddr provides the tag (see package comment). On a miss the block is
+// filled. write marks the block dirty (for write-back caches).
+func (c *Cache) Access(indexAddr, tagAddr uint64, write bool) Result {
+	c.stats.Accesses++
+	set := c.setIndex(indexAddr)
+	tag := c.tagOf(tagAddr)
+	ws := c.ways(set)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			c.tick++
+			ws[i].lru = c.tick
+			if write && c.cfg.WriteBack {
+				ws[i].dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	victim := 0
+	for i := range ws {
+		if !ws[i].valid {
+			victim = i
+			break
+		}
+		if ws[i].lru < ws[victim].lru {
+			victim = i
+		}
+	}
+	wb := ws[victim].valid && ws[victim].dirty
+	if wb {
+		c.stats.WriteBacks++
+	}
+	c.tick++
+	ws[victim] = line{tag: tag, valid: true, dirty: write && c.cfg.WriteBack, lru: c.tick}
+	return Result{Hit: false, WriteBack: wb}
+}
+
+// Probe reports whether the block is resident without updating LRU or
+// filling — used by oracle accounting.
+func (c *Cache) Probe(indexAddr, tagAddr uint64) bool {
+	ws := c.ways(c.setIndex(indexAddr))
+	tag := c.tagOf(tagAddr)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, returning how many dirty lines were dropped.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty++
+		}
+		c.lines[i] = line{}
+	}
+	return dirty
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents (used to
+// discard warm-up statistics).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// MissRate returns misses/accesses, 0 when idle.
+func (c *Cache) MissRate() float64 {
+	if c.stats.Accesses == 0 {
+		return 0
+	}
+	return float64(c.stats.Misses) / float64(c.stats.Accesses)
+}
+
+// BlockBytes returns the block size.
+func (c *Cache) BlockBytes() int { return c.cfg.BlockBytes }
+
+// SameBlock reports whether two addresses fall in the same cache block.
+func (c *Cache) SameBlock(a, b uint64) bool {
+	return a>>c.blockBits == b>>c.blockBits
+}

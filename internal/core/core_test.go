@@ -1,0 +1,456 @@
+package core
+
+import (
+	"testing"
+
+	"itlbcfr/internal/addr"
+	"itlbcfr/internal/bpred"
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/energy"
+	"itlbcfr/internal/isa"
+	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/vm"
+)
+
+func newEngine(s Scheme, style cache.Style) (*Engine, *energy.Meter, *vm.AddressSpace) {
+	geom := addr.DefaultGeometry
+	cfg := tlb.Mono(32, 32)
+	t := tlb.New(cfg)
+	m := energy.NewMeter(energy.NewModel(energy.DefaultTech), cfg.EntriesPerLevel(), cfg.AssocPerLevel())
+	t.AttachMeter(m)
+	space := vm.New(geom, 1)
+	return NewEngine(s, style, geom, t, space, m), m, space
+}
+
+func pcIn(page uint64, off uint64) addr.VAddr {
+	return addr.VAddr(page<<12 | off)
+}
+
+func TestSchemeParseAndProperties(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%v) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("bogus scheme should fail to parse")
+	}
+	if Base.UsesCFR() || !OPT.UsesCFR() {
+		t.Error("UsesCFR wrong")
+	}
+	for _, s := range []Scheme{SoCA, SoLA, IA} {
+		if !s.NeedsStubs() {
+			t.Errorf("%v should need stubs", s)
+		}
+	}
+	for _, s := range []Scheme{Base, OPT, HoA} {
+		if s.NeedsStubs() {
+			t.Errorf("%v should not need stubs", s)
+		}
+	}
+}
+
+func TestBaseLooksUpEveryFetch(t *testing.T) {
+	e, m, _ := newEngine(Base, cache.VIPT)
+	for i := 0; i < 10; i++ {
+		out := e.FetchTranslate(pcIn(5, uint64(i*4)), true, false)
+		if !out.UsedTLB {
+			t.Fatal("base must consult the iTLB on every fetch")
+		}
+	}
+	if e.Stats().Lookups != 10 || e.Stats().LookupsBase != 10 {
+		t.Errorf("stats: %+v", e.Stats())
+	}
+	if m.TotalAccesses() != 10 {
+		t.Errorf("meter accesses = %d", m.TotalAccesses())
+	}
+}
+
+func TestTranslationCorrectness(t *testing.T) {
+	// Whatever the scheme, the physical address must match the page table.
+	for _, s := range Schemes() {
+		e, _, space := newEngine(s, cache.VIPT)
+		geom := space.Geometry()
+		pcs := []addr.VAddr{pcIn(1, 0), pcIn(1, 4), pcIn(2, 0), pcIn(1, 8)}
+		for i, pc := range pcs {
+			// Arm software schemes before page changes, as their compiler
+			// contract guarantees.
+			if i > 0 && geom.VPN(pcs[i-1]) != geom.VPN(pc) {
+				e.OnCTIPredicted(pcs[i-1], &isa.Inst{Kind: isa.Jump, Target: pc}, bpred.Prediction{Taken: true, Target: pc, BTBHit: true})
+			}
+			out := e.FetchTranslate(pc, false, false)
+			want := geom.Translate(space.Walk(geom.VPN(pc)), pc)
+			if out.PFN != want {
+				t.Errorf("%v: translate(%#x) = %#x, want %#x", s, uint64(pc), uint64(out.PFN), uint64(want))
+			}
+		}
+		if e.Stats().StaleUses != 0 {
+			t.Errorf("%v: stale CFR uses on correct path", s)
+		}
+	}
+}
+
+func TestOPTLooksUpOnlyOnPageChange(t *testing.T) {
+	e, _, _ := newEngine(OPT, cache.VIPT)
+	seq := []uint64{1, 1, 1, 2, 2, 1, 1} // page per fetch
+	for i, pg := range seq {
+		e.FetchTranslate(pcIn(pg, uint64(i%1024)*4), false, false)
+	}
+	// Page changes: 1 (cold), 2, 1 => 3 lookups.
+	if got := e.Stats().Lookups; got != 3 {
+		t.Errorf("OPT lookups = %d, want 3", got)
+	}
+	if e.Stats().CFRHits != 4 {
+		t.Errorf("OPT CFR hits = %d, want 4", e.Stats().CFRHits)
+	}
+}
+
+func TestOPTIgnoresWrongPath(t *testing.T) {
+	e, m, _ := newEngine(OPT, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	before := m.TotalNJ()
+	for i := 0; i < 50; i++ {
+		e.FetchTranslate(pcIn(uint64(10+i), 0), false, true) // wrong path
+	}
+	if m.TotalNJ() != before {
+		t.Error("OPT must not charge energy for wrong-path fetches")
+	}
+	if e.Stats().Lookups != 1 {
+		t.Errorf("OPT lookups = %d", e.Stats().Lookups)
+	}
+}
+
+func TestHoAComparatorEveryFetchLookupOnChange(t *testing.T) {
+	e, m, _ := newEngine(HoA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	e.FetchTranslate(pcIn(1, 4), true, false)
+	e.FetchTranslate(pcIn(2, 0), true, false) // sequential page change
+	st := e.Stats()
+	if st.Comparisons != 3 {
+		t.Errorf("comparisons = %d, want 3", st.Comparisons)
+	}
+	if st.Lookups != 2 {
+		t.Errorf("lookups = %d, want 2", st.Lookups)
+	}
+	if st.LookupsBoundary != 2 {
+		// Cold lookup at page 1 is sequential=true here, then page 2.
+		t.Errorf("boundary lookups = %d, want 2", st.LookupsBoundary)
+	}
+	if m.Comparisons != 3 {
+		t.Errorf("meter comparisons = %d", m.Comparisons)
+	}
+}
+
+func TestSoCAArmsOnEveryCTI(t *testing.T) {
+	e, _, _ := newEngine(SoCA, cache.VIPT)
+	// Initial fetch: CFR invalid -> lookup.
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	// A branch WITHIN the page still arms a lookup (conservative).
+	br := &isa.Inst{Kind: isa.CondBranch, Target: pcIn(1, 64), InPage: true}
+	e.OnCTIPredicted(pcIn(1, 4), br, bpred.Prediction{Taken: true, Target: pcIn(1, 64), BTBHit: true})
+	out := e.FetchTranslate(pcIn(1, 64), false, false)
+	if !out.UsedTLB {
+		t.Error("SoCA must look up after ANY branch, even in-page")
+	}
+	// Sequential fetches after that use the CFR.
+	out = e.FetchTranslate(pcIn(1, 68), true, false)
+	if out.UsedTLB {
+		t.Error("sequential fetch should ride the CFR")
+	}
+	if e.Stats().LookupsBranch != 1 {
+		t.Errorf("branch lookups = %d", e.Stats().LookupsBranch)
+	}
+}
+
+func TestSoCABoundaryStubAttribution(t *testing.T) {
+	e, _, _ := newEngine(SoCA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	stub := &isa.Inst{Kind: isa.Jump, Target: pcIn(2, 0), BoundaryStub: true}
+	e.OnCTIPredicted(pcIn(1, 4092), stub, bpred.Prediction{Taken: true, Target: pcIn(2, 0), BTBHit: true})
+	e.FetchTranslate(pcIn(2, 0), false, false)
+	if e.Stats().LookupsBoundary != 2 { // cold + stub
+		t.Errorf("boundary lookups = %d, want 2 (cold+stub)", e.Stats().LookupsBoundary)
+	}
+}
+
+func TestSoLASkipsInPageBranches(t *testing.T) {
+	e, _, _ := newEngine(SoLA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	inPage := &isa.Inst{Kind: isa.CondBranch, Target: pcIn(1, 64), InPage: true}
+	e.OnCTIPredicted(pcIn(1, 4), inPage, bpred.Prediction{Taken: true, Target: pcIn(1, 64), BTBHit: true})
+	if out := e.FetchTranslate(pcIn(1, 64), false, false); out.UsedTLB {
+		t.Error("SoLA must ride the CFR for compiler-marked in-page branches")
+	}
+	cross := &isa.Inst{Kind: isa.Jump, Target: pcIn(2, 0)}
+	e.OnCTIPredicted(pcIn(1, 64), cross, bpred.Prediction{Taken: true, Target: pcIn(2, 0), BTBHit: true})
+	if out := e.FetchTranslate(pcIn(2, 0), false, false); !out.UsedTLB {
+		t.Error("SoLA must look up for branches without the in-page bit")
+	}
+}
+
+func TestIAPredictedTakenSamePageFree(t *testing.T) {
+	e, _, _ := newEngine(IA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	br := &isa.Inst{Kind: isa.CondBranch, Target: pcIn(1, 256)}
+	// BTB-predicted taken to the SAME page: case A, no lookup.
+	e.OnCTIPredicted(pcIn(1, 4), br, bpred.Prediction{Taken: true, Target: pcIn(1, 256), BTBHit: true})
+	if out := e.FetchTranslate(pcIn(1, 256), false, false); out.UsedTLB {
+		t.Error("IA case A: same-page predicted target must not look up")
+	}
+	if e.Stats().Lookups != 1 { // cold only
+		t.Errorf("lookups = %d", e.Stats().Lookups)
+	}
+}
+
+func TestIAPredictedTakenCrossPageLooksUpEagerly(t *testing.T) {
+	e, _, _ := newEngine(IA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	br := &isa.Inst{Kind: isa.Jump, Target: pcIn(7, 0)}
+	e.OnCTIPredicted(pcIn(1, 4), br, bpred.Prediction{Taken: true, Target: pcIn(7, 0), BTBHit: true})
+	if !e.TookLookupAtPred() {
+		t.Fatal("IA must look up at predict time for a cross-page target")
+	}
+	// Target fetch rides the just-refilled CFR.
+	if out := e.FetchTranslate(pcIn(7, 0), false, false); out.UsedTLB {
+		t.Error("target fetch after the eager lookup should use the CFR")
+	}
+	if e.Stats().LookupsBranch != 1 {
+		t.Errorf("branch lookups = %d", e.Stats().LookupsBranch)
+	}
+}
+
+func TestIACaseBMispredictedNotTaken(t *testing.T) {
+	e, _, _ := newEngine(IA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	br := &isa.Inst{Kind: isa.CondBranch, Target: pcIn(1, 256)}
+	pred := bpred.Prediction{Taken: false}
+	e.OnCTIPredicted(pcIn(1, 4), br, pred)
+	ck := e.Checkpoint()
+	// ... wrong-path fall-through fetches happen; squash:
+	e.Restore(ck)
+	stall := e.OnCTIResolved(pcIn(1, 4), br, pred, true, pcIn(1, 256), true, false)
+	_ = stall
+	// Case B: lookup even though the target is in the SAME page.
+	if e.Stats().LookupsBranch != 1 {
+		t.Errorf("case B lookups = %d, want 1", e.Stats().LookupsBranch)
+	}
+}
+
+func TestIACaseDMispredictedTakenWithPageChange(t *testing.T) {
+	e, _, _ := newEngine(IA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	br := &isa.Inst{Kind: isa.CondBranch, Target: pcIn(7, 0)}
+	pred := bpred.Prediction{Taken: true, Target: pcIn(7, 0), BTBHit: true}
+	ck := e.Checkpoint()
+	e.OnCTIPredicted(pcIn(1, 4), br, pred) // eager lookup for page 7
+	tookLookup := e.TookLookupAtPred()
+	if !tookLookup {
+		t.Fatal("expected eager lookup")
+	}
+	// Actually not taken: squash, restore, case D lookup for fall-through.
+	e.Restore(ck)
+	e.OnCTIResolved(pcIn(1, 4), br, pred, false, pcIn(1, 8), true, tookLookup)
+	if e.Stats().Lookups != 3 { // cold + eager C + case D
+		t.Errorf("lookups = %d, want 3", e.Stats().Lookups)
+	}
+	// The CFR must now cover the fall-through page again.
+	if !e.CFRState().Covers(1) {
+		t.Error("CFR should cover page 1 after case D")
+	}
+}
+
+func TestIAMispredictedTakenSamePageNoExtraLookup(t *testing.T) {
+	e, _, _ := newEngine(IA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	br := &isa.Inst{Kind: isa.CondBranch, Target: pcIn(1, 512)}
+	pred := bpred.Prediction{Taken: true, Target: pcIn(1, 512), BTBHit: true}
+	ck := e.Checkpoint()
+	e.OnCTIPredicted(pcIn(1, 4), br, pred) // same page: no lookup
+	e.Restore(ck)
+	e.OnCTIResolved(pcIn(1, 4), br, pred, false, pcIn(1, 8), true, false)
+	if e.Stats().Lookups != 1 { // cold only
+		t.Errorf("lookups = %d, want 1", e.Stats().Lookups)
+	}
+}
+
+func TestCheckpointRestoreDiscardsWrongPathCFR(t *testing.T) {
+	e, _, _ := newEngine(IA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	ck := e.Checkpoint()
+	// Wrong path wanders into page 9 via a stub.
+	stub := &isa.Inst{Kind: isa.Jump, Target: pcIn(9, 0), BoundaryStub: true}
+	e.OnCTIPredicted(pcIn(1, 4092), stub, bpred.Prediction{Taken: true, Target: pcIn(9, 0), BTBHit: true})
+	e.FetchTranslate(pcIn(9, 0), false, true)
+	if e.CFRState().VPN != 9 {
+		t.Fatal("wrong-path fetch should have moved the CFR")
+	}
+	e.Restore(ck)
+	if e.CFRState().VPN != 1 || !e.CFRState().Valid {
+		t.Error("restore must rewind the CFR to the checkpoint")
+	}
+}
+
+func TestVIVTBaseLooksUpPerMiss(t *testing.T) {
+	e, _, _ := newEngine(Base, cache.VIVT)
+	out := e.OnIL1Miss(pcIn(1, 0), true, false)
+	if !out.UsedTLB || out.StallCycles < 1 {
+		t.Fatalf("VI-VT base miss: %+v", out)
+	}
+	// Second miss in the same page still pays (no CFR in base).
+	out = e.OnIL1Miss(pcIn(1, 64), true, false)
+	if !out.UsedTLB {
+		t.Error("base has no CFR; every miss consults the iTLB")
+	}
+}
+
+func TestVIVTOPTRidesCFRSamePage(t *testing.T) {
+	e, _, _ := newEngine(OPT, cache.VIVT)
+	e.OnIL1Miss(pcIn(1, 0), true, false)
+	out := e.OnIL1Miss(pcIn(1, 64), true, false)
+	if out.UsedTLB || out.StallCycles != 0 {
+		t.Errorf("same-page miss should ride the CFR: %+v", out)
+	}
+	out = e.OnIL1Miss(pcIn(2, 0), true, false)
+	if !out.UsedTLB {
+		t.Error("page change at miss must look up")
+	}
+}
+
+func TestVIVTSoCAConservativeAtMiss(t *testing.T) {
+	e, _, _ := newEngine(SoCA, cache.VIVT)
+	e.OnIL1Miss(pcIn(1, 0), true, false)
+	// Branch arms the trigger; the miss is in the SAME page but SoCA pays.
+	br := &isa.Inst{Kind: isa.CondBranch, Target: pcIn(1, 128)}
+	e.OnCTIPredicted(pcIn(1, 4), br, bpred.Prediction{Taken: true, Target: pcIn(1, 128), BTBHit: true})
+	out := e.OnIL1Miss(pcIn(1, 128), false, false)
+	if !out.UsedTLB {
+		t.Error("SoCA pays at the first miss after any branch")
+	}
+	// No branch since: free.
+	out = e.OnIL1Miss(pcIn(1, 192), true, false)
+	if out.UsedTLB {
+		t.Error("missing again with no intervening branch should be free")
+	}
+}
+
+func TestVIVTIADefersPredictLookup(t *testing.T) {
+	e, m, _ := newEngine(IA, cache.VIVT)
+	e.OnIL1Miss(pcIn(1, 0), true, false)
+	before := m.TotalAccesses()
+	br := &isa.Inst{Kind: isa.Jump, Target: pcIn(5, 0)}
+	e.OnCTIPredicted(pcIn(1, 4), br, bpred.Prediction{Taken: true, Target: pcIn(5, 0), BTBHit: true})
+	if m.TotalAccesses() != before {
+		t.Error("VI-VT IA must not access the iTLB at predict time")
+	}
+	out := e.OnIL1Miss(pcIn(5, 0), false, false)
+	if !out.UsedTLB {
+		t.Error("deferred lookup must happen at the miss")
+	}
+}
+
+func TestVIVTHoAComparatorCharging(t *testing.T) {
+	e, m, _ := newEngine(HoA, cache.VIVT)
+	for i := 0; i < 7; i++ {
+		e.OnFetchObserved(pcIn(1, uint64(i*4)))
+	}
+	if m.Comparisons != 7 {
+		t.Errorf("comparisons = %d, want 7", m.Comparisons)
+	}
+	// Other schemes must ignore OnFetchObserved.
+	e2, m2, _ := newEngine(IA, cache.VIVT)
+	e2.OnFetchObserved(pcIn(1, 0))
+	if m2.Comparisons != 0 {
+		t.Error("IA must not charge comparator energy")
+	}
+}
+
+func TestOSRemapInvalidatesCFR(t *testing.T) {
+	e, _, space := newEngine(HoA, cache.VIPT)
+	e.FetchTranslate(pcIn(1, 0), true, false)
+	if !space.Pinned(1) {
+		t.Fatal("the CFR page must be pinned")
+	}
+	space.Unpin(1)
+	if _, err := space.Remap(1); err != nil {
+		t.Fatal(err)
+	}
+	if e.CFRState().Valid {
+		t.Fatal("remap must invalidate the CFR")
+	}
+	// Next fetch re-walks and gets the NEW frame.
+	out := e.FetchTranslate(pcIn(1, 4), true, false)
+	want := space.Geometry().Translate(space.Walk(1), pcIn(1, 4))
+	if out.PFN != want {
+		t.Error("post-remap fetch must see the new frame")
+	}
+}
+
+func TestPanicsOnStyleMisuse(t *testing.T) {
+	e, _, _ := newEngine(Base, cache.VIVT)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("FetchTranslate under VI-VT should panic")
+			}
+		}()
+		e.FetchTranslate(pcIn(1, 0), true, false)
+	}()
+	e2, _, _ := newEngine(Base, cache.VIPT)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("OnIL1Miss under VI-PT should panic")
+			}
+		}()
+		e2.OnIL1Miss(pcIn(1, 0), true, false)
+	}()
+}
+
+func TestSchemeLookupOrderingInvariant(t *testing.T) {
+	// Core invariant of the paper, VI-PT: on an identical fetch/branch
+	// pattern, lookups(OPT) <= lookups(IA-ish schemes) <= lookups(SoCA)
+	// <= lookups(Base). We drive the engines with a shared synthetic
+	// pattern: sequential runs with occasional in-page and cross-page jumps.
+	type step struct {
+		pc     addr.VAddr
+		isCTI  bool
+		target addr.VAddr
+	}
+	var steps []step
+	pc := pcIn(1, 0)
+	pages := []uint64{1, 1, 2, 1, 3, 3, 1}
+	for i := range pages {
+		for k := 0; k < 20; k++ {
+			steps = append(steps, step{pc: pc})
+			pc += 4
+		}
+		next := pcIn(pages[(i+1)%len(pages)], uint64(i*128))
+		steps = append(steps, step{pc: pc, isCTI: true, target: next})
+		pc = next
+	}
+	run := func(s Scheme) uint64 {
+		e, _, _ := newEngine(s, cache.VIPT)
+		seq := true
+		for _, st := range steps {
+			e.FetchTranslate(st.pc, seq, false)
+			seq = true
+			if st.isCTI {
+				in := &isa.Inst{Kind: isa.Jump, Target: st.target}
+				e.OnCTIPredicted(st.pc, in, bpred.Prediction{Taken: true, Target: st.target, BTBHit: true})
+				seq = false
+			}
+		}
+		return e.Stats().Lookups
+	}
+	opt, hoa, soca, sola, ia, base := run(OPT), run(HoA), run(SoCA), run(SoLA), run(IA), run(Base)
+	if !(opt <= ia && ia <= soca && soca <= base) {
+		t.Errorf("ordering violated: OPT=%d IA=%d SoCA=%d Base=%d", opt, ia, soca, base)
+	}
+	if !(opt <= sola && sola <= soca) {
+		t.Errorf("ordering violated: OPT=%d SoLA=%d SoCA=%d", opt, sola, soca)
+	}
+	if hoa != opt {
+		t.Errorf("HoA lookup count should equal OPT (differs only in comparator energy): %d vs %d", hoa, opt)
+	}
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func testRunner() *Runner { return NewRunner(60_000, 20_000) }
+
+func TestTable1Static(t *testing.T) {
+	tb := Table1()
+	if len(tb.Rows) < 10 {
+		t.Fatalf("Table 1 too short: %d rows", len(tb.Rows))
+	}
+	s := tb.Render()
+	for _, want := range []string{"RUU", "iTLB", "Bimodal", "7 cycles"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestAllTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table regeneration in -short mode")
+	}
+	r := testRunner()
+	for _, tb := range All(r) {
+		s := tb.Render()
+		if len(s) < 50 {
+			t.Errorf("%s renders suspiciously short output", tb.ID)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s has no rows", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Columns) {
+				t.Errorf("%s: row width %d != %d columns", tb.ID, len(row), len(tb.Columns))
+			}
+		}
+	}
+	if r.Runs() == 0 {
+		t.Error("no simulations ran")
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := testRunner()
+	Table5(r)
+	n := r.Runs()
+	Table5(r)
+	if r.Runs() != n {
+		t.Error("repeated generation must not re-simulate")
+	}
+	// Table 2 shares the base VI-PT runs with Table 5.
+	Table2(r)
+	if r.Runs() != n+6 { // only the six VI-VT base runs are new
+		t.Errorf("Table 2 after Table 5 should add 6 runs, added %d", r.Runs()-n)
+	}
+}
+
+func TestByID(t *testing.T) {
+	r := testRunner()
+	for _, id := range []string{"1", "5", "figure5"} {
+		tb, err := ByID(r, id)
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		if tb.ID == "" {
+			t.Errorf("ByID(%s) returned empty table", id)
+		}
+	}
+	if _, err := ByID(r, "nonesuch"); err == nil {
+		t.Error("unknown ID should error")
+	}
+	if len(IDs()) < 12 {
+		t.Errorf("IDs() = %v", IDs())
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tb := Table{
+		ID: "X", Title: "t",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"lonnng", "1"}},
+		Notes:   []string{"n"},
+	}
+	s := tb.Render()
+	if !strings.Contains(s, "lonnng") || !strings.Contains(s, "note: n") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+}

@@ -1,0 +1,528 @@
+// Package pipeline is the cycle-level machine model: a detailed front end
+// (fetch groups, iL1 lookups under all three addressing styles, the CFR
+// translation engine, branch prediction with speculative wrong-path fetch,
+// iTLB walk stalls) over a bandwidth/occupancy back end (issue and commit
+// width, RUU run-ahead slack, dL1/dTLB/L2/DRAM latencies).
+//
+// Everything the paper measures lives in the front end, which this model
+// simulates instruction by instruction, including the wrong paths fetched
+// during the 7 cycles between a misprediction and its resolution — those
+// fetches consume iTLB/CFR energy and pollute the iTLB and iL1, exactly the
+// effects that separate the paper's schemes on small TLB configurations.
+// The back end abstracts the out-of-order core as two clocks:
+//
+//	frontCycle — when the current fetch group completes (stalls from iL1
+//	             misses, page walks, PI-PT serialization, redirects);
+//	backCycle  — when the core has consumed everything delivered so far
+//	             (issue bandwidth plus exposed memory latency).
+//
+// The front end may run ahead of the back end by at most the RUU's worth of
+// cycles; total execution time is the later of the two clocks. This is the
+// "timing model" substitution documented in DESIGN.md: absolute CPI differs
+// from sim-outorder, front-end-driven deltas (the paper's subject) are
+// modelled directly.
+package pipeline
+
+import (
+	"fmt"
+
+	"itlbcfr/internal/addr"
+	"itlbcfr/internal/bpred"
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/isa"
+	"itlbcfr/internal/program"
+	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/vm"
+)
+
+// Config sizes the machine (Table 1 of the paper).
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	RUUSize     int
+	LSQSize     int
+
+	IL1Style    cache.Style
+	IL1         cache.Config
+	DL1         cache.Config
+	L2          cache.Config
+	DRAMLatency int
+
+	DTLB  tlb.Config
+	Bpred bpred.Config
+
+	// MLPFactor is the fraction of data-miss latency exposed to the back
+	// end (memory-level parallelism hides the rest).
+	MLPFactor float64
+
+	// DataCFR enables the paper's future-work extension (§5): a Current
+	// Frame Register on the data side, compared HoA-style against every
+	// load/store page so dTLB lookups are skipped while data references
+	// stay within the current data page.
+	DataCFR bool
+
+	// ContextSwitchEvery injects a context switch every N committed
+	// instructions (0 = never): both TLBs flush, the CFR is saved and
+	// restored per §3.2, and the pipeline drains (one redirect penalty).
+	ContextSwitchEvery uint64
+
+	// RemapEvery injects OS page-remap pressure every N committed
+	// instructions (0 = never): a rotating code page is migrated to a new
+	// frame, exercising the §3.2 invalidation contract (pinned pages are
+	// skipped, exactly as the OS defers moving the CFR-resident page).
+	RemapEvery uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FetchWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1 {
+		return fmt.Errorf("pipeline: non-positive widths")
+	}
+	if c.RUUSize < c.IssueWidth {
+		return fmt.Errorf("pipeline: RUU smaller than issue width")
+	}
+	for _, cc := range []cache.Config{c.IL1, c.DL1, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.DTLB.Validate(); err != nil {
+		return err
+	}
+	if err := c.Bpred.Validate(); err != nil {
+		return err
+	}
+	if c.MLPFactor < 0 || c.MLPFactor > 1 {
+		return fmt.Errorf("pipeline: MLPFactor %v outside [0,1]", c.MLPFactor)
+	}
+	return nil
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	Committed uint64 // non-stub instructions executed
+	Stubs     uint64 // BOUNDARY stub instructions executed
+	Cycles    uint64
+
+	// Front-end structures.
+	IL1  cache.Stats
+	L2   cache.Stats
+	DL1  cache.Stats
+	DTLB tlb.Stats
+
+	// Paper accounting.
+	Engine           core.Stats
+	ITLB             tlb.Stats
+	EnergyMJ         float64 // iTLB + CFR energy, millijoules
+	Bpred            bpred.Stats
+	WrongPathFetches uint64
+
+	// Correct-path page crossings (Table 2).
+	CrossBoundary uint64
+	CrossBranch   uint64
+
+	// Correct-path dynamic branch statistics (Table 4).
+	DynBranches     uint64
+	DynAnalyzable   uint64
+	DynInPage       uint64 // analyzable with the in-page bit
+	DynCrossingBits uint64 // analyzable without the in-page bit
+
+	// Data-side CFR extension (§5 future work).
+	DCFRHits    uint64 // dTLB lookups avoided by the data CFR
+	DCFRLookups uint64 // dTLB lookups that refilled the data CFR
+
+	// OS-pressure injection (§3.2 contract).
+	ContextSwitches uint64
+	Remaps          uint64
+	RemapsDeferred  uint64 // remaps refused because the page was pinned
+}
+
+// IL1MissRate returns the instruction-cache miss rate over fetch accesses.
+func (r Result) IL1MissRate() float64 {
+	if r.IL1.Accesses == 0 {
+		return 0
+	}
+	return float64(r.IL1.Misses) / float64(r.IL1.Accesses)
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// Machine wires one benchmark image to one scheme/style configuration.
+type Machine struct {
+	cfg    Config
+	geom   addr.Geometry
+	img    *program.Image
+	ex     *program.Executor
+	engine *core.Engine
+	space  *vm.AddressSpace
+	il1    *cache.Cache
+	dl1    *cache.Cache
+	l2     *cache.Cache
+	dtlb   *tlb.TLB
+	pred   *bpred.Predictor
+
+	frontCycle uint64
+	backCycle  float64
+	cycleBase  uint64 // clock values at the last ResetStats
+	backBase   float64
+	slack      float64 // RUU run-ahead in cycles
+
+	// Data-side CFR (future-work extension).
+	dcfrVPN   uint64
+	dcfrPFN   uint64
+	dcfrValid bool
+
+	fetchPC    addr.VAddr
+	runTarget  uint64 // commit count at which the current Run stops
+	sequential bool   // next fetch follows the previous without redirect
+	lastBlock  uint64
+	haveBlock  bool
+
+	res Result
+}
+
+// New builds a machine. The engine must have been constructed over the same
+// address space and geometry.
+func New(cfg Config, img *program.Image, ex *program.Executor,
+	engine *core.Engine, space *vm.AddressSpace) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:    cfg,
+		geom:   img.Geom,
+		img:    img,
+		ex:     ex,
+		engine: engine,
+		space:  space,
+		il1:    cache.New(cfg.IL1),
+		dl1:    cache.New(cfg.DL1),
+		l2:     cache.New(cfg.L2),
+		dtlb:   tlb.New(cfg.DTLB),
+		pred:   bpred.New(cfg.Bpred),
+		slack:  float64(cfg.RUUSize) / float64(cfg.IssueWidth),
+	}
+	m.fetchPC = img.Entry
+	m.sequential = true
+	if cfg.DataCFR {
+		// The OS invalidates the data CFR alongside the dTLB entry when the
+		// resident page is remapped, mirroring the instruction-side contract.
+		space.OnInvalidate(func(vpn uint64) {
+			if m.dcfrValid && m.dcfrVPN == vpn {
+				m.dcfrValid = false
+			}
+		})
+	}
+	return m, nil
+}
+
+// ResetStats discards all statistics gathered so far (warm-up) while keeping
+// microarchitectural state — cache/TLB/predictor contents, the CFR and the
+// clocks — intact.
+func (m *Machine) ResetStats() {
+	m.res = Result{}
+	m.cycleBase = m.frontCycle
+	m.backBase = m.backCycle
+	m.il1.ResetStats()
+	m.dl1.ResetStats()
+	m.l2.ResetStats()
+	m.dtlb.ResetStats()
+	m.pred.ResetStats()
+	m.engine.ResetStats()
+}
+
+// Run executes until n non-stub instructions have committed (beyond any
+// prior calls) and returns the accumulated result.
+func (m *Machine) Run(n uint64) Result {
+	m.runTarget = n
+	for m.res.Committed < n {
+		m.stepGroup()
+	}
+	m.res.Cycles = m.frontCycle - m.cycleBase
+	if b := uint64(m.backCycle - m.backBase); b > m.res.Cycles {
+		m.res.Cycles = b
+	}
+	m.res.Engine = m.engine.Stats()
+	m.res.Bpred = m.pred.Stats()
+	m.res.IL1 = m.il1.Stats()
+	m.res.L2 = m.l2.Stats()
+	m.res.DL1 = m.dl1.Stats()
+	m.res.DTLB = m.dtlb.Stats()
+	return m.res
+}
+
+// fetchInst performs the front-end work for fetching one instruction at pc:
+// translation per the engine/style and the iL1 (and L2/DRAM) accesses.
+// It returns the stall cycles charged to this fetch group and whether the
+// iTLB was consulted.
+func (m *Machine) fetchInst(pc addr.VAddr, wrongPath bool) (stall int, usedTLB bool) {
+	var pa addr.PAddr
+	switch m.cfg.IL1Style {
+	case cache.VIPT, cache.PIPT:
+		out := m.engine.FetchTranslate(pc, m.sequential, wrongPath)
+		stall += out.StallCycles
+		usedTLB = out.UsedTLB
+		pa = out.PFN
+	case cache.VIVT:
+		m.engine.OnFetchObserved(pc)
+	}
+
+	// One iL1 probe per block touched.
+	blk := uint64(pc) / uint64(m.cfg.IL1.BlockBytes)
+	if m.haveBlock && blk == m.lastBlock {
+		return stall, usedTLB
+	}
+	m.lastBlock, m.haveBlock = blk, true
+
+	var r cache.Result
+	switch m.cfg.IL1Style {
+	case cache.VIVT:
+		r = m.il1.Access(uint64(pc), uint64(pc), false)
+	case cache.VIPT:
+		r = m.il1.Access(uint64(pc), uint64(pa), false)
+	case cache.PIPT:
+		r = m.il1.Access(uint64(pa), uint64(pa), false)
+	}
+	if r.Hit {
+		return stall, usedTLB
+	}
+
+	// iL1 miss: for VI-VT the translation happens now (Figure 1(c));
+	// eager styles already have the physical address.
+	if m.cfg.IL1Style == cache.VIVT {
+		out := m.engine.OnIL1Miss(pc, m.sequential, wrongPath)
+		stall += out.StallCycles
+		usedTLB = usedTLB || out.UsedTLB
+		pa = out.PFN
+	}
+	stall += m.cfg.L2.LatencyCycles
+	if lr := m.l2.Access(uint64(pa), uint64(pa), false); !lr.Hit {
+		stall += m.cfg.DRAMLatency
+	}
+	return stall, usedTLB
+}
+
+// stepGroup fetches and executes one correct-path fetch group.
+func (m *Machine) stepGroup() {
+	groupStall := 0
+	groupUsedTLB := false
+	redirect := false
+
+	for slot := 0; slot < m.cfg.FetchWidth && !redirect; slot++ {
+		if m.res.Committed >= m.runTarget {
+			break
+		}
+		pc := m.fetchPC
+		s := m.ex.Step()
+		if s.PC != pc {
+			panic(fmt.Sprintf("pipeline: fetch desynchronized: fetch %#x, oracle %#x",
+				uint64(pc), uint64(s.PC)))
+		}
+		st, used := m.fetchInst(pc, false)
+		groupStall += st
+		groupUsedTLB = groupUsedTLB || used
+		m.sequential = true
+
+		m.accountCommit(s)
+
+		if !s.Inst.Kind.IsCTI() {
+			m.fetchPC = s.Next
+			continue
+		}
+
+		// Branch machinery.
+		pred := m.pred.Predict(pc, s.Inst.Kind)
+		ck := m.engine.Checkpoint()
+		groupStall += m.engine.OnCTIPredicted(pc, s.Inst, pred)
+		tookLookup := m.engine.TookLookupAtPred()
+		correct := m.pred.Resolve(pc, s.Inst.Kind, pred, s.Taken, s.Next)
+
+		if correct {
+			m.fetchPC = s.Next
+			if s.Taken {
+				// Predicted-taken redirect ends the group.
+				m.sequential = false
+				redirect = true
+			}
+			continue
+		}
+
+		// Misprediction: finish this group, fetch down the wrong path for
+		// the redirect penalty, then squash and restart at the real target.
+		m.frontCycle += uint64(1 + groupStall)
+		m.syncBackend()
+		wrongPC := pc + addr.InstBytes
+		if pred.Taken {
+			wrongPC = pred.Target
+		}
+		m.runWrongPath(wrongPC, uint64(m.cfg.Bpred.MispredictPenalty))
+		m.engine.Restore(ck)
+		m.frontCycle += uint64(m.engine.OnCTIResolved(pc, s.Inst, pred, s.Taken, s.Next, true, tookLookup))
+		m.fetchPC = s.Next
+		m.sequential = false
+		m.haveBlock = false
+		return
+	}
+
+	m.frontCycle += uint64(1 + groupStall)
+	if m.cfg.IL1Style == cache.PIPT && (groupUsedTLB || m.engine.Scheme() == core.Base) {
+		// PI-PT serializes translation before iL1 indexing (§2). With a
+		// valid CFR the concatenation is free; consulting the iTLB costs
+		// the serialized cycle the paper's Table 8 measures.
+		m.frontCycle++
+	}
+	m.syncBackend()
+}
+
+// runWrongPath fetches down the mispredicted path for `penalty` cycles.
+// Wrong-path instructions consume translation energy and pollute the iTLB,
+// iL1 and predictor state, but never commit.
+func (m *Machine) runWrongPath(start addr.VAddr, penalty uint64) {
+	deadline := m.frontCycle + penalty
+	wp := start
+	m.sequential = false
+	m.haveBlock = false
+	for m.frontCycle < deadline {
+		groupStall := 0
+		for slot := 0; slot < m.cfg.FetchWidth; slot++ {
+			in := m.img.At(wp)
+			st, _ := m.fetchInst(wp, true)
+			groupStall += st
+			m.res.WrongPathFetches++
+			m.sequential = true
+			if !in.Kind.IsCTI() {
+				wp += addr.InstBytes
+				continue
+			}
+			pred := m.pred.Predict(wp, in.Kind)
+			m.engine.OnCTIPredicted(wp, in, pred)
+			if pred.Taken {
+				wp = pred.Target
+				m.sequential = false
+				break
+			}
+			wp += addr.InstBytes
+		}
+		m.frontCycle += uint64(1 + groupStall)
+	}
+}
+
+// accountCommit charges the back end for one committed instruction and
+// maintains the correct-path statistics.
+func (m *Machine) accountCommit(s program.Step) {
+	if s.Inst.BoundaryStub {
+		m.res.Stubs++
+	} else {
+		m.res.Committed++
+		if m.cfg.ContextSwitchEvery > 0 && m.res.Committed%m.cfg.ContextSwitchEvery == 0 {
+			m.contextSwitch()
+		}
+		if m.cfg.RemapEvery > 0 && m.res.Committed%m.cfg.RemapEvery == 0 {
+			m.injectRemap()
+		}
+	}
+
+	// Back-end bandwidth.
+	width := m.cfg.IssueWidth
+	if m.cfg.CommitWidth < width {
+		width = m.cfg.CommitWidth
+	}
+	m.backCycle += 1 / float64(width)
+
+	// Memory instructions go through dTLB and dL1. With the data-CFR
+	// extension enabled, same-page references ride the register instead.
+	if s.Inst.Kind.IsMem() {
+		vpn := m.geom.VPN(s.Data)
+		var pa addr.PAddr
+		if m.cfg.DataCFR && m.dcfrValid && m.dcfrVPN == vpn {
+			m.res.DCFRHits++
+			pa = m.geom.Translate(m.dcfrPFN, s.Data)
+		} else {
+			tr := m.dtlb.Lookup(vpn, m.space.Walk)
+			m.backCycle += float64(tr.ExtraCycles)
+			if m.cfg.DataCFR {
+				m.res.DCFRLookups++
+				m.dcfrVPN, m.dcfrPFN, m.dcfrValid = vpn, tr.PFN, true
+			}
+			pa = m.geom.Translate(tr.PFN, s.Data)
+		}
+		dr := m.dl1.Access(uint64(pa), uint64(pa), s.Inst.Kind == isa.Store)
+		if !dr.Hit {
+			lat := m.cfg.L2.LatencyCycles
+			if lr := m.l2.Access(uint64(pa), uint64(pa), dr.WriteBack); !lr.Hit {
+				lat += m.cfg.DRAMLatency
+			}
+			m.backCycle += float64(lat) * m.cfg.MLPFactor
+		}
+	}
+
+	// Correct-path page-crossing statistics (Table 2).
+	if !m.geom.SamePage(s.PC, s.Next) {
+		if s.Next == s.PC+addr.InstBytes || s.Inst.BoundaryStub {
+			m.res.CrossBoundary++
+		} else {
+			m.res.CrossBranch++
+		}
+	}
+
+	// Dynamic branch statistics (Table 4); stubs are compiler artifacts.
+	if s.Inst.Kind.IsCTI() && !s.Inst.BoundaryStub {
+		m.res.DynBranches++
+		if s.Inst.Kind.IsDirect() {
+			m.res.DynAnalyzable++
+			if s.Inst.InPage {
+				m.res.DynInPage++
+			} else {
+				m.res.DynCrossingBits++
+			}
+		}
+	}
+}
+
+// contextSwitch models the OS taking the core away and handing it back:
+// TLBs flush, the CFR survives as saved/restored register state (§3.2), the
+// pipeline drains and refills.
+func (m *Machine) contextSwitch() {
+	m.res.ContextSwitches++
+	m.engine.OnContextSwitch()
+	m.dtlb.Flush()
+	m.dcfrValid = false
+	m.frontCycle += uint64(m.cfg.Bpred.MispredictPenalty) // drain/refill
+	m.haveBlock = false
+	m.sequential = false
+}
+
+// injectRemap migrates one code page to a fresh frame, cycling through the
+// image. The OS refuses to move the pinned (CFR-resident) page and defers —
+// the Denied path of the §3.2 contract.
+func (m *Machine) injectRemap() {
+	m.res.Remaps++
+	pages := uint64(m.img.Pages())
+	if pages == 0 {
+		return
+	}
+	vpn := m.geom.VPN(m.img.Base) + (m.res.Remaps % pages)
+	if _, err := m.space.Remap(vpn); err != nil {
+		m.res.RemapsDeferred++
+	}
+}
+
+// syncBackend enforces the RUU run-ahead window: the front end cannot be
+// more than `slack` cycles ahead of the back end, and the back end never
+// lags behind what has been delivered.
+func (m *Machine) syncBackend() {
+	if f := float64(m.frontCycle); m.backCycle < f-m.slack {
+		m.backCycle = f - m.slack
+	}
+	if m.backCycle > float64(m.frontCycle)+m.slack {
+		m.frontCycle = uint64(m.backCycle - m.slack)
+	}
+}

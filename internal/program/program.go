@@ -1,0 +1,251 @@
+// Package program defines the synthetic code image and the architectural
+// executor that walks its correct path.
+//
+// An Image is a flat array of instructions laid out contiguously in virtual
+// memory from Base. Everything the paper's mechanisms observe — page
+// boundaries, branch targets, the in-page bit — is a function of this layout.
+// The Executor interprets the image: control flow follows encoded targets,
+// conditional outcomes come from each site's deterministic biased random
+// stream, calls and returns use a real call stack, and loads/stores draw
+// addresses from per-stream synthetic data generators. The pipeline consumes
+// Executor steps as its oracle ("what the program really does") while
+// independently fetching — possibly down wrong paths — from the same Image.
+package program
+
+import (
+	"fmt"
+
+	"itlbcfr/internal/addr"
+	"itlbcfr/internal/isa"
+	"itlbcfr/internal/xrand"
+)
+
+// Image is an executable synthetic code image.
+type Image struct {
+	Name string
+	Base addr.VAddr
+	Code []isa.Inst
+	Geom addr.Geometry
+
+	// Entry is the address where execution starts (the driver loop).
+	Entry addr.VAddr
+
+	// nop backs At() for addresses outside the image (reachable only by
+	// wrong-path fetch).
+	nop isa.Inst
+}
+
+// NewImage wraps code into an image. Entry defaults to Base.
+func NewImage(name string, base addr.VAddr, geom addr.Geometry, code []isa.Inst) *Image {
+	return &Image{Name: name, Base: base, Code: code, Geom: geom, Entry: base}
+}
+
+// Len returns the number of instructions.
+func (im *Image) Len() int { return len(im.Code) }
+
+// End returns the first address past the image.
+func (im *Image) End() addr.VAddr { return addr.InstAddr(im.Base, len(im.Code)) }
+
+// Contains reports whether pc addresses an instruction of the image.
+func (im *Image) Contains(pc addr.VAddr) bool {
+	return pc >= im.Base && pc < im.End() && (pc-im.Base)%addr.InstBytes == 0
+}
+
+// At returns the instruction at pc. Addresses outside the image decode as a
+// harmless IntALU so wrong-path fetch beyond the image never faults; the
+// returned pointer must be treated as read-only.
+func (im *Image) At(pc addr.VAddr) *isa.Inst {
+	if !im.Contains(pc) {
+		return &im.nop
+	}
+	return &im.Code[addr.InstIndex(im.Base, pc)]
+}
+
+// Pages returns the number of virtual pages the image spans.
+func (im *Image) Pages() int {
+	if len(im.Code) == 0 {
+		return 0
+	}
+	first := im.Geom.VPN(im.Base)
+	last := im.Geom.VPN(im.End() - 1)
+	return int(last-first) + 1
+}
+
+// Validate checks that every encoded target lands inside the image on an
+// instruction boundary.
+func (im *Image) Validate() error {
+	for i := range im.Code {
+		in := &im.Code[i]
+		pc := addr.InstAddr(im.Base, i)
+		if in.Kind.IsDirect() {
+			if !im.Contains(in.Target) {
+				return fmt.Errorf("program %s: %v at %#x targets %#x outside image",
+					im.Name, in.Kind, uint64(pc), uint64(in.Target))
+			}
+		}
+		if in.Kind == isa.IndJump {
+			if len(in.TargetSet) == 0 {
+				return fmt.Errorf("program %s: ijmp at %#x has empty target set", im.Name, uint64(pc))
+			}
+			for _, tgt := range in.TargetSet {
+				if !im.Contains(tgt) {
+					return fmt.Errorf("program %s: ijmp at %#x targets %#x outside image",
+						im.Name, uint64(pc), uint64(tgt))
+				}
+			}
+		}
+	}
+	if !im.Contains(im.Entry) {
+		return fmt.Errorf("program %s: entry %#x outside image", im.Name, uint64(im.Entry))
+	}
+	return nil
+}
+
+// Step is one architecturally executed instruction.
+type Step struct {
+	PC    addr.VAddr
+	Inst  *isa.Inst
+	Taken bool       // CTIs: whether control transferred
+	Next  addr.VAddr // address of the next instruction on the correct path
+	Data  addr.VAddr // Load/Store: effective data address
+}
+
+// DataStreamConfig shapes one synthetic data reference stream.
+type DataStreamConfig struct {
+	Base addr.VAddr
+	// WorkingSetBytes bounds the stream's footprint.
+	WorkingSetBytes uint64
+	// StrideBytes advances the stream each access.
+	StrideBytes uint64
+	// JumpProb is the probability of teleporting to a random offset within
+	// the working set (breaks spatial locality).
+	JumpProb float64
+}
+
+// maxCallDepth bounds the call stack against pathological images; the
+// generator emits matched call/return pairs so real programs stay far below.
+const maxCallDepth = 4096
+
+// Executor interprets an Image along its correct path.
+type Executor struct {
+	img     *Image
+	pc      addr.VAddr
+	stack   []addr.VAddr
+	rng     *xrand.Source
+	streams []dataStream
+
+	steps uint64
+}
+
+type dataStream struct {
+	cfg DataStreamConfig
+	pos uint64
+}
+
+// NewExecutor builds an executor starting at the image entry.
+// seed drives branch outcomes, indirect target selection and data streams.
+func NewExecutor(img *Image, seed uint64, streams []DataStreamConfig) *Executor {
+	ex := &Executor{
+		img: img,
+		pc:  img.Entry,
+		rng: xrand.New(seed ^ 0xA5A5_5A5A_1234_5678),
+	}
+	if len(streams) == 0 {
+		streams = []DataStreamConfig{{
+			Base:            0x4000_0000,
+			WorkingSetBytes: 1 << 20,
+			StrideBytes:     16,
+			JumpProb:        0.05,
+		}}
+	}
+	for _, sc := range streams {
+		ex.streams = append(ex.streams, dataStream{cfg: sc})
+	}
+	return ex
+}
+
+// PC returns the address of the next instruction to execute.
+func (ex *Executor) PC() addr.VAddr { return ex.pc }
+
+// Steps returns how many instructions have executed.
+func (ex *Executor) Steps() uint64 { return ex.steps }
+
+// CallDepth returns the current call-stack depth.
+func (ex *Executor) CallDepth() int { return len(ex.stack) }
+
+// Step executes one instruction and returns what happened.
+func (ex *Executor) Step() Step {
+	pc := ex.pc
+	if !ex.img.Contains(pc) {
+		panic(fmt.Sprintf("program %s: correct path escaped image at %#x", ex.img.Name, uint64(pc)))
+	}
+	in := ex.img.At(pc)
+	st := Step{PC: pc, Inst: in, Next: pc + addr.InstBytes}
+
+	switch in.Kind {
+	case isa.CondBranch:
+		st.Taken = ex.rng.Bool(float64(in.TakenBias))
+		if st.Taken {
+			st.Next = in.Target
+		}
+	case isa.Jump:
+		st.Taken = true
+		st.Next = in.Target
+	case isa.Call:
+		st.Taken = true
+		st.Next = in.Target
+		if len(ex.stack) < maxCallDepth {
+			ex.stack = append(ex.stack, pc+addr.InstBytes)
+		}
+	case isa.Ret:
+		st.Taken = true
+		if n := len(ex.stack); n > 0 {
+			st.Next = ex.stack[n-1]
+			ex.stack = ex.stack[:n-1]
+		} else {
+			// Unmatched return: restart at the entry. The generator emits
+			// matched pairs, so this is a safety net, not a hot path.
+			st.Next = ex.img.Entry
+		}
+	case isa.IndJump:
+		st.Taken = true
+		st.Next = ex.pickIndirect(in)
+	case isa.Load, isa.Store:
+		st.Data = ex.nextData(int(in.DataStream))
+	}
+
+	ex.pc = st.Next
+	ex.steps++
+	return st
+}
+
+// pickIndirect selects an indirect target, skewed toward the first entry so
+// the BTB retains usable accuracy (real indirect branches are dominated by
+// one hot target).
+func (ex *Executor) pickIndirect(in *isa.Inst) addr.VAddr {
+	ts := in.TargetSet
+	if len(ts) == 1 {
+		return ts[0]
+	}
+	if ex.rng.Bool(0.70) {
+		return ts[0]
+	}
+	return ts[1+ex.rng.Intn(len(ts)-1)]
+}
+
+func (ex *Executor) nextData(stream int) addr.VAddr {
+	if stream >= len(ex.streams) {
+		stream = stream % len(ex.streams)
+	}
+	ds := &ex.streams[stream]
+	ws := ds.cfg.WorkingSetBytes
+	if ws == 0 {
+		ws = 1 << 16
+	}
+	if ds.cfg.JumpProb > 0 && ex.rng.Bool(ds.cfg.JumpProb) {
+		ds.pos = ex.rng.Uint64() % ws
+	} else {
+		ds.pos = (ds.pos + ds.cfg.StrideBytes) % ws
+	}
+	return ds.cfg.Base + addr.VAddr(ds.pos)
+}

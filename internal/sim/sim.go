@@ -1,0 +1,168 @@
+// Package sim wires the substrates into complete simulations: Table 1's
+// default machine, per-run construction (benchmark → compiler → executor →
+// CFR engine → pipeline), warm-up handling and energy roll-up.
+package sim
+
+import (
+	"fmt"
+
+	"itlbcfr/internal/addr"
+	"itlbcfr/internal/bpred"
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/compiler"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/energy"
+	"itlbcfr/internal/pipeline"
+	"itlbcfr/internal/program"
+	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/vm"
+	"itlbcfr/internal/workload"
+)
+
+// DefaultInstructions is the default simulation length (committed, non-stub
+// instructions). The paper runs 250M; the default here keeps a full table
+// regeneration in the tens of seconds. Energies scale linearly with length.
+const DefaultInstructions = 2_000_000
+
+// DefaultWarmup is how many instructions run before statistics reset, so
+// cold caches and predictors do not distort the measured window (the paper
+// skips 1B instructions for the same reason).
+const DefaultWarmup = 300_000
+
+// DefaultPipeline returns the paper's Table 1 machine.
+func DefaultPipeline() pipeline.Config {
+	return pipeline.Config{
+		FetchWidth:  4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+		RUUSize:     64,
+		LSQSize:     32,
+		IL1Style:    cache.VIPT,
+		IL1:         cache.Config{SizeBytes: 8 << 10, BlockBytes: 32, Assoc: 1, LatencyCycles: 1},
+		DL1:         cache.Config{SizeBytes: 8 << 10, BlockBytes: 32, Assoc: 2, LatencyCycles: 1, WriteBack: true},
+		L2:          cache.Config{SizeBytes: 1 << 20, BlockBytes: 128, Assoc: 2, LatencyCycles: 10},
+		DRAMLatency: 100,
+		DTLB:        tlb.Mono(128, 128),
+		Bpred:       bpred.Default,
+		MLPFactor:   0.35,
+	}
+}
+
+// DefaultITLB is Table 1's iTLB: 32 entries, fully associative, 50-cycle
+// miss penalty.
+func DefaultITLB() tlb.Config { return tlb.Mono(32, 32) }
+
+// Options selects one simulation.
+type Options struct {
+	Profile workload.Profile
+	Scheme  core.Scheme
+	Style   cache.Style
+	ITLB    tlb.Config
+
+	// Instructions and Warmup default to the package constants when zero.
+	Instructions uint64
+	Warmup       uint64
+
+	// PageBytes overrides the 4KB page size (must be a power of two).
+	PageBytes uint64
+
+	// Pipeline overrides the Table 1 machine when non-nil.
+	Pipeline *pipeline.Config
+
+	// Tech overrides the 0.1 µm energy technology point when non-nil.
+	Tech *energy.Tech
+}
+
+// Result bundles the pipeline outcome with identification.
+type Result struct {
+	pipeline.Result
+	Bench  string
+	Scheme core.Scheme
+	Style  cache.Style
+}
+
+// Run builds and executes one simulation.
+func Run(opt Options) (Result, error) {
+	n := opt.Instructions
+	if n == 0 {
+		n = DefaultInstructions
+	}
+	warm := opt.Warmup
+	if warm == 0 {
+		warm = DefaultWarmup
+	}
+
+	geom := addr.DefaultGeometry
+	if opt.PageBytes != 0 {
+		g, err := addr.NewGeometry(opt.PageBytes)
+		if err != nil {
+			return Result{}, err
+		}
+		geom = g
+	}
+
+	img, err := workload.Generate(opt.Profile)
+	if err != nil {
+		return Result{}, err
+	}
+	img.Geom = geom
+	compiled, _, err := compiler.Compile(img, compiler.Options{
+		InsertBoundaryStubs: opt.Scheme.NeedsStubs(),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	itlbCfg := opt.ITLB
+	if len(itlbCfg.Levels) == 0 {
+		itlbCfg = DefaultITLB()
+	}
+	tech := energy.DefaultTech
+	if opt.Tech != nil {
+		tech = *opt.Tech
+	}
+
+	space := vm.New(geom, 1)
+	itlb := tlb.New(itlbCfg)
+	meter := energy.NewMeter(energy.NewModel(tech), itlbCfg.EntriesPerLevel(), itlbCfg.AssocPerLevel())
+	itlb.AttachMeter(meter)
+	engine := core.NewEngine(opt.Scheme, opt.Style, geom, itlb, space, meter)
+
+	pcfg := DefaultPipeline()
+	if opt.Pipeline != nil {
+		pcfg = *opt.Pipeline
+	}
+	pcfg.IL1Style = opt.Style
+
+	ex := program.NewExecutor(compiled, opt.Profile.Seed^0xC0FFEE, opt.Profile.DataStreams())
+	machine, err := pipeline.New(pcfg, compiled, ex, engine, space)
+	if err != nil {
+		return Result{}, err
+	}
+
+	if warm > 0 {
+		machine.Run(warm)
+		machine.ResetStats()
+		meter.Reset()
+		itlb.ResetStats()
+	}
+	res := machine.Run(n)
+	meter.AddStubs(res.Stubs)
+	res.EnergyMJ = meter.TotalMJ()
+	res.ITLB = itlb.Stats()
+
+	if res.Engine.StaleUses != 0 {
+		return Result{}, fmt.Errorf("sim: %d stale CFR uses on the correct path (%s/%s/%s): translation contract violated",
+			res.Engine.StaleUses, opt.Profile.Name, opt.Scheme, opt.Style)
+	}
+	return Result{Result: res, Bench: opt.Profile.Name, Scheme: opt.Scheme, Style: opt.Style}, nil
+}
+
+// MustRun is Run for known-good options.
+func MustRun(opt Options) Result {
+	r, err := Run(opt)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,349 @@
+// Package tlb models translation lookaside buffers: set-associative or fully
+// associative single-level TLBs with LRU replacement, and the two-level
+// organizations of the paper's §4.3.2 (looked up serially or in parallel).
+//
+// The TLB does not own the page table; a miss calls back into a walker
+// provided by the caller (internal/vm) and charges the configured walk
+// penalty. Energy is charged to an optional energy.Meter, one access per
+// level probed and one refill per level filled, matching the paper's
+// E = n_a·E_a + n_m·E_m accounting per structure.
+package tlb
+
+import (
+	"fmt"
+
+	"itlbcfr/internal/energy"
+)
+
+// LevelConfig describes one TLB level.
+type LevelConfig struct {
+	Entries int
+	Assoc   int // Assoc == Entries means fully associative
+}
+
+// Validate checks the level geometry.
+func (lc LevelConfig) Validate() error {
+	if lc.Entries < 1 {
+		return fmt.Errorf("tlb: entries %d < 1", lc.Entries)
+	}
+	if lc.Assoc < 1 || lc.Assoc > lc.Entries {
+		return fmt.Errorf("tlb: assoc %d out of range for %d entries", lc.Assoc, lc.Entries)
+	}
+	if lc.Entries%lc.Assoc != 0 {
+		return fmt.Errorf("tlb: entries %d not divisible by assoc %d", lc.Entries, lc.Assoc)
+	}
+	sets := lc.Entries / lc.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("tlb: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Config describes a complete (possibly multi-level) TLB.
+type Config struct {
+	Levels []LevelConfig
+	// Parallel selects parallel lookup of both levels of a two-level TLB
+	// (energy-hungry, latency-friendly); false means serial lookup where
+	// level 2 is probed only on a level-1 miss.
+	Parallel bool
+	// Level2Latency is the extra lookup latency (cycles) of a serial
+	// level-2 probe. The paper optimistically assumes 1 (§4.3.2).
+	Level2Latency int
+	// MissPenalty is the page-walk latency in cycles (50 in Table 1).
+	MissPenalty int
+}
+
+// Mono returns a single-level configuration with the paper's defaults.
+func Mono(entries, assoc int) Config {
+	return Config{
+		Levels:      []LevelConfig{{Entries: entries, Assoc: assoc}},
+		MissPenalty: 50,
+	}
+}
+
+// TwoLevel returns a two-level serial configuration with the paper's
+// optimistic single-cycle second-level probe.
+func TwoLevel(l1Entries, l1Assoc, l2Entries, l2Assoc int, parallel bool) Config {
+	return Config{
+		Levels: []LevelConfig{
+			{Entries: l1Entries, Assoc: l1Assoc},
+			{Entries: l2Entries, Assoc: l2Assoc},
+		},
+		Parallel:      parallel,
+		Level2Latency: 1,
+		MissPenalty:   50,
+	}
+}
+
+// Validate checks the whole configuration.
+func (c Config) Validate() error {
+	if len(c.Levels) < 1 || len(c.Levels) > 2 {
+		return fmt.Errorf("tlb: %d levels unsupported (1 or 2)", len(c.Levels))
+	}
+	for i, l := range c.Levels {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("level %d: %w", i, err)
+		}
+	}
+	if c.MissPenalty < 0 {
+		return fmt.Errorf("tlb: negative miss penalty")
+	}
+	return nil
+}
+
+// EntriesPerLevel returns the entry counts, for energy-meter construction.
+func (c Config) EntriesPerLevel() []int {
+	out := make([]int, len(c.Levels))
+	for i, l := range c.Levels {
+		out[i] = l.Entries
+	}
+	return out
+}
+
+// AssocPerLevel returns the associativities, for energy-meter construction.
+func (c Config) AssocPerLevel() []int {
+	out := make([]int, len(c.Levels))
+	for i, l := range c.Levels {
+		out[i] = l.Assoc
+	}
+	return out
+}
+
+type entry struct {
+	vpn   uint64
+	pfn   uint64
+	valid bool
+	lru   uint64 // larger = more recently used
+}
+
+type level struct {
+	cfg     LevelConfig
+	sets    int
+	ways    []entry // sets × assoc, row-major
+	lruTick uint64
+}
+
+func newLevel(cfg LevelConfig) *level {
+	return &level{
+		cfg:  cfg,
+		sets: cfg.Entries / cfg.Assoc,
+		ways: make([]entry, cfg.Entries),
+	}
+}
+
+func (l *level) set(vpn uint64) []entry {
+	s := int(vpn) & (l.sets - 1)
+	return l.ways[s*l.cfg.Assoc : (s+1)*l.cfg.Assoc]
+}
+
+func (l *level) lookup(vpn uint64) (uint64, bool) {
+	ws := l.set(vpn)
+	for i := range ws {
+		if ws[i].valid && ws[i].vpn == vpn {
+			l.lruTick++
+			ws[i].lru = l.lruTick
+			return ws[i].pfn, true
+		}
+	}
+	return 0, false
+}
+
+func (l *level) insert(vpn, pfn uint64) {
+	ws := l.set(vpn)
+	victim := 0
+	for i := range ws {
+		if !ws[i].valid {
+			victim = i
+			break
+		}
+		if ws[i].lru < ws[victim].lru {
+			victim = i
+		}
+	}
+	l.lruTick++
+	ws[victim] = entry{vpn: vpn, pfn: pfn, valid: true, lru: l.lruTick}
+}
+
+func (l *level) invalidate(vpn uint64) bool {
+	ws := l.set(vpn)
+	for i := range ws {
+		if ws[i].valid && ws[i].vpn == vpn {
+			ws[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+func (l *level) flush() {
+	for i := range l.ways {
+		l.ways[i].valid = false
+	}
+}
+
+// Stats counts TLB activity per level plus walks.
+type Stats struct {
+	Accesses []uint64
+	Hits     []uint64
+	Walks    uint64
+}
+
+// TLB is a (possibly two-level) translation lookaside buffer.
+type TLB struct {
+	cfg    Config
+	levels []*level
+	stats  Stats
+	meter  *energy.Meter // optional
+}
+
+// New builds a TLB. It panics on an invalid configuration, which indicates a
+// programming error in the caller.
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t := &TLB{cfg: cfg}
+	for _, lc := range cfg.Levels {
+		t.levels = append(t.levels, newLevel(lc))
+	}
+	t.stats.Accesses = make([]uint64, len(cfg.Levels))
+	t.stats.Hits = make([]uint64, len(cfg.Levels))
+	return t
+}
+
+// AttachMeter directs per-access energy accounting to mt. The meter must have
+// been built with the same level geometry (see Config.EntriesPerLevel).
+func (t *TLB) AttachMeter(mt *energy.Meter) { t.meter = mt }
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Result describes one lookup.
+type Result struct {
+	PFN uint64
+	// HitLevel is the level that supplied the translation, or -1 if a page
+	// walk was required.
+	HitLevel int
+	// ExtraCycles is the latency beyond a first-level hit: the serial
+	// second-level probe and/or the walk penalty.
+	ExtraCycles int
+}
+
+// Lookup translates vpn, walking the page table via walk on a full miss.
+// The walker must always succeed (the synthetic OS maps all code/data pages);
+// translation *faults* are modelled in internal/vm, not here.
+func (t *TLB) Lookup(vpn uint64, walk func(vpn uint64) uint64) Result {
+	if t.cfg.Parallel && len(t.levels) == 2 {
+		return t.lookupParallel(vpn, walk)
+	}
+	for li, l := range t.levels {
+		t.stats.Accesses[li]++
+		if t.meter != nil {
+			t.meter.AddAccess(li)
+		}
+		if pfn, ok := l.lookup(vpn); ok {
+			t.stats.Hits[li]++
+			extra := 0
+			if li > 0 {
+				extra = t.cfg.Level2Latency
+				// Promote into level 1 so the working set migrates up.
+				t.fill(0, vpn, pfn)
+			}
+			return Result{PFN: pfn, HitLevel: li, ExtraCycles: extra}
+		}
+	}
+	return t.walkFill(vpn, walk, t.serialMissLatency())
+}
+
+func (t *TLB) lookupParallel(vpn uint64, walk func(vpn uint64) uint64) Result {
+	// Both levels are probed (and both charged) every lookup.
+	var pfn uint64
+	hit := -1
+	for li := len(t.levels) - 1; li >= 0; li-- {
+		t.stats.Accesses[li]++
+		if t.meter != nil {
+			t.meter.AddAccess(li)
+		}
+		if p, ok := t.levels[li].lookup(vpn); ok {
+			pfn, hit = p, li
+		}
+	}
+	if hit >= 0 {
+		t.stats.Hits[hit]++
+		if hit > 0 {
+			t.fill(0, vpn, pfn)
+		}
+		// Parallel probe: no extra latency for a level-2 hit.
+		return Result{PFN: pfn, HitLevel: hit}
+	}
+	return t.walkFill(vpn, walk, t.cfg.MissPenalty)
+}
+
+func (t *TLB) serialMissLatency() int {
+	lat := t.cfg.MissPenalty
+	if len(t.levels) > 1 {
+		lat += t.cfg.Level2Latency
+	}
+	return lat
+}
+
+func (t *TLB) walkFill(vpn uint64, walk func(vpn uint64) uint64, lat int) Result {
+	t.stats.Walks++
+	pfn := walk(vpn)
+	for li := range t.levels {
+		t.fill(li, vpn, pfn)
+	}
+	return Result{PFN: pfn, HitLevel: -1, ExtraCycles: lat}
+}
+
+func (t *TLB) fill(li int, vpn, pfn uint64) {
+	t.levels[li].insert(vpn, pfn)
+	if t.meter != nil {
+		t.meter.AddMiss(li)
+	}
+}
+
+// Invalidate removes vpn from every level, returning whether any entry was
+// present. The OS uses this when remapping a page (§3.2).
+func (t *TLB) Invalidate(vpn uint64) bool {
+	any := false
+	for _, l := range t.levels {
+		if l.invalidate(vpn) {
+			any = true
+		}
+	}
+	return any
+}
+
+// Flush empties the TLB (context switch without ASIDs).
+func (t *TLB) Flush() {
+	for _, l := range t.levels {
+		l.flush()
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (t *TLB) Stats() Stats {
+	s := Stats{
+		Accesses: append([]uint64(nil), t.stats.Accesses...),
+		Hits:     append([]uint64(nil), t.stats.Hits...),
+		Walks:    t.stats.Walks,
+	}
+	return s
+}
+
+// ResetStats zeroes the counters without touching TLB contents.
+func (t *TLB) ResetStats() {
+	for i := range t.stats.Accesses {
+		t.stats.Accesses[i], t.stats.Hits[i] = 0, 0
+	}
+	t.stats.Walks = 0
+}
+
+// MissRate returns the fraction of lookups that required a walk.
+func (t *TLB) MissRate() float64 {
+	if t.stats.Accesses[0] == 0 {
+		return 0
+	}
+	return float64(t.stats.Walks) / float64(t.stats.Accesses[0])
+}

@@ -1,0 +1,255 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itlbcfr/internal/energy"
+)
+
+// identWalk maps vpn -> vpn+1000 so tests can verify PFNs.
+func identWalk(vpn uint64) uint64 { return vpn + 1000 }
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		Mono(1, 1),
+		Mono(8, 8),
+		Mono(16, 2),
+		Mono(32, 32),
+		TwoLevel(1, 1, 32, 32, false),
+		TwoLevel(32, 32, 96, 96, true),
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Levels: nil, MissPenalty: 50},
+		{Levels: []LevelConfig{{Entries: 0, Assoc: 1}}, MissPenalty: 50},
+		{Levels: []LevelConfig{{Entries: 8, Assoc: 3}}, MissPenalty: 50},
+		{Levels: []LevelConfig{{Entries: 8, Assoc: 16}}, MissPenalty: 50},
+		{Levels: []LevelConfig{{Entries: 12, Assoc: 2}}, MissPenalty: 50}, // 6 sets
+		{Levels: []LevelConfig{{Entries: 8, Assoc: 8}}, MissPenalty: -1},
+		{Levels: []LevelConfig{{8, 8}, {32, 32}, {64, 64}}, MissPenalty: 50},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	tl := New(Mono(32, 32))
+	r := tl.Lookup(7, identWalk)
+	if r.HitLevel != -1 || r.PFN != 1007 || r.ExtraCycles != 50 {
+		t.Fatalf("first lookup: %+v", r)
+	}
+	r = tl.Lookup(7, identWalk)
+	if r.HitLevel != 0 || r.PFN != 1007 || r.ExtraCycles != 0 {
+		t.Fatalf("second lookup: %+v", r)
+	}
+	s := tl.Stats()
+	if s.Accesses[0] != 2 || s.Hits[0] != 1 || s.Walks != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestLRUEvictionFullyAssociative(t *testing.T) {
+	tl := New(Mono(4, 4))
+	for vpn := uint64(0); vpn < 4; vpn++ {
+		tl.Lookup(vpn, identWalk)
+	}
+	// Touch 0 so 1 becomes LRU.
+	tl.Lookup(0, identWalk)
+	// Insert a 5th entry; 1 must be evicted.
+	tl.Lookup(99, identWalk)
+	if r := tl.Lookup(0, identWalk); r.HitLevel != 0 {
+		t.Error("vpn 0 should still be resident (was MRU)")
+	}
+	if r := tl.Lookup(1, identWalk); r.HitLevel != -1 {
+		t.Error("vpn 1 should have been the LRU victim")
+	}
+}
+
+func TestSetAssocIndexing(t *testing.T) {
+	// 16 entries, 2-way: 8 sets. VPNs 0 and 8 share set 0.
+	tl := New(Mono(16, 2))
+	tl.Lookup(0, identWalk)
+	tl.Lookup(8, identWalk)
+	tl.Lookup(16, identWalk) // third way of set 0: evicts LRU (vpn 0)
+	if r := tl.Lookup(8, identWalk); r.HitLevel != 0 {
+		t.Error("vpn 8 should be resident")
+	}
+	if r := tl.Lookup(0, identWalk); r.HitLevel != -1 {
+		t.Error("vpn 0 should have been evicted from its 2-way set")
+	}
+	// A VPN mapping to a different set is unaffected.
+	tl2 := New(Mono(16, 2))
+	tl2.Lookup(1, identWalk)
+	tl2.Lookup(0, identWalk)
+	tl2.Lookup(8, identWalk)
+	tl2.Lookup(16, identWalk)
+	if r := tl2.Lookup(1, identWalk); r.HitLevel != 0 {
+		t.Error("set 1 entry should be untouched by set 0 pressure")
+	}
+}
+
+func TestSingleEntryTLB(t *testing.T) {
+	tl := New(Mono(1, 1))
+	tl.Lookup(5, identWalk)
+	if r := tl.Lookup(5, identWalk); r.HitLevel != 0 {
+		t.Error("repeat lookup should hit")
+	}
+	tl.Lookup(6, identWalk)
+	if r := tl.Lookup(5, identWalk); r.HitLevel != -1 {
+		t.Error("1-entry TLB must have evicted vpn 5")
+	}
+}
+
+func TestTwoLevelSerial(t *testing.T) {
+	tl := New(TwoLevel(1, 1, 32, 32, false))
+	// Cold: walk, fills both levels. Serial config charges L2 probe + walk.
+	r := tl.Lookup(1, identWalk)
+	if r.HitLevel != -1 || r.ExtraCycles != 51 {
+		t.Fatalf("cold lookup: %+v", r)
+	}
+	// L1 hit: free.
+	if r := tl.Lookup(1, identWalk); r.HitLevel != 0 || r.ExtraCycles != 0 {
+		t.Fatalf("L1 hit: %+v", r)
+	}
+	// Displace L1 with vpn 2; vpn 1 then hits in L2 with 1 extra cycle.
+	tl.Lookup(2, identWalk)
+	r = tl.Lookup(1, identWalk)
+	if r.HitLevel != 1 || r.ExtraCycles != 1 {
+		t.Fatalf("L2 hit: %+v", r)
+	}
+	// The L2 hit promotes vpn 1 back into L1.
+	if r := tl.Lookup(1, identWalk); r.HitLevel != 0 {
+		t.Fatalf("promotion failed: %+v", r)
+	}
+}
+
+func TestTwoLevelParallelLatencyAndEnergy(t *testing.T) {
+	m := energy.NewModel(energy.DefaultTech)
+	cfg := TwoLevel(1, 1, 32, 32, true)
+	tl := New(cfg)
+	mt := energy.NewMeter(m, cfg.EntriesPerLevel(), cfg.AssocPerLevel())
+	tl.AttachMeter(mt)
+
+	tl.Lookup(1, identWalk)
+	tl.Lookup(2, identWalk)
+	r := tl.Lookup(1, identWalk) // L1 holds 2; L2 holds both -> parallel hit, no extra cycles
+	if r.HitLevel != 1 || r.ExtraCycles != 0 {
+		t.Fatalf("parallel L2 hit: %+v", r)
+	}
+	// Parallel lookup charges BOTH levels on every access.
+	if mt.Accesses[0] != 3 || mt.Accesses[1] != 3 {
+		t.Errorf("parallel energy accesses = %v", mt.Accesses)
+	}
+
+	// Serial lookup charges L2 only on L1 miss.
+	tls := New(TwoLevel(1, 1, 32, 32, false))
+	mts := energy.NewMeter(m, cfg.EntriesPerLevel(), cfg.AssocPerLevel())
+	tls.AttachMeter(mts)
+	tls.Lookup(1, identWalk)
+	tls.Lookup(1, identWalk) // L1 hit: no L2 probe
+	if mts.Accesses[0] != 2 || mts.Accesses[1] != 1 {
+		t.Errorf("serial energy accesses = %v", mts.Accesses)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tl := New(TwoLevel(1, 1, 32, 32, false))
+	tl.Lookup(9, identWalk)
+	if !tl.Invalidate(9) {
+		t.Error("Invalidate should report the entry was present")
+	}
+	if tl.Invalidate(9) {
+		t.Error("second Invalidate should find nothing")
+	}
+	if r := tl.Lookup(9, identWalk); r.HitLevel != -1 {
+		t.Error("invalidated entry must re-walk")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl := New(Mono(32, 32))
+	for vpn := uint64(0); vpn < 10; vpn++ {
+		tl.Lookup(vpn, identWalk)
+	}
+	tl.Flush()
+	for vpn := uint64(0); vpn < 10; vpn++ {
+		if r := tl.Lookup(vpn, identWalk); r.HitLevel != -1 {
+			t.Fatalf("vpn %d survived flush", vpn)
+		}
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	tl := New(Mono(32, 32))
+	if tl.MissRate() != 0 {
+		t.Error("empty TLB should report 0 miss rate")
+	}
+	tl.Lookup(1, identWalk)
+	tl.Lookup(1, identWalk)
+	tl.Lookup(1, identWalk)
+	tl.Lookup(2, identWalk)
+	if got := tl.MissRate(); got != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", got)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Levels: []LevelConfig{{Entries: 3, Assoc: 2}}})
+}
+
+func TestTranslationAlwaysCorrectProperty(t *testing.T) {
+	// Property: whatever the access pattern, the PFN returned always equals
+	// the walker's answer for that VPN (TLBs never return stale garbage).
+	f := func(seq []uint16, entriesSel, assocSel uint8) bool {
+		entries := []int{1, 4, 8, 16, 32}[int(entriesSel)%5]
+		assoc := entries
+		if assocSel%2 == 0 && entries >= 4 {
+			assoc = 2
+		}
+		tl := New(Mono(entries, assoc))
+		for _, s := range seq {
+			vpn := uint64(s % 257)
+			if r := tl.Lookup(vpn, identWalk); r.PFN != identWalk(vpn) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitRateNonDecreasingWithSizeProperty(t *testing.T) {
+	// Property: on the same FA access sequence, a bigger fully-associative
+	// TLB never does worse (LRU inclusion property).
+	f := func(seq []uint8) bool {
+		if len(seq) == 0 {
+			return true
+		}
+		small := New(Mono(4, 4))
+		big := New(Mono(16, 16))
+		for _, s := range seq {
+			vpn := uint64(s % 32)
+			small.Lookup(vpn, identWalk)
+			big.Lookup(vpn, identWalk)
+		}
+		return big.Stats().Walks <= small.Stats().Walks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

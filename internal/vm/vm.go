@@ -1,0 +1,174 @@
+// Package vm models the virtual-memory substrate: a per-address-space page
+// table with a scattering frame allocator, and the small OS contract the
+// paper's §3.2 requires — the page whose translation lives in the CFR can be
+// pinned, and remapping or evicting a page invalidates both the TLBs and the
+// CFR through registered hooks.
+package vm
+
+import (
+	"fmt"
+
+	"itlbcfr/internal/addr"
+)
+
+// AddressSpace maps virtual page numbers to physical frame numbers.
+//
+// Frames are assigned on first touch through a multiplicative hash so that
+// PFN bits never coincide with VPN bits — any simulator component that
+// accidentally uses a virtual page number where a physical frame is required
+// will immediately disagree with the page table and fail tests.
+type AddressSpace struct {
+	geom   addr.Geometry
+	pages  map[uint64]uint64
+	pinned map[uint64]bool
+	asid   uint64
+	salt   uint64
+	next   uint64
+
+	// OnInvalidate hooks are called when a page's translation is revoked
+	// (remap/unmap); internal/core registers the CFR here and the TLBs are
+	// invalidated by the owner of this address space.
+	onInvalidate []func(vpn uint64)
+
+	stats Stats
+}
+
+// Stats counts address-space activity.
+type Stats struct {
+	Walks   uint64
+	Maps    uint64
+	Remaps  uint64
+	Unmaps  uint64
+	Denied  uint64 // remaps refused because the page was pinned
+	Invalid uint64 // invalidation broadcasts delivered
+}
+
+// New creates an address space with the given geometry and ASID.
+// The ASID perturbs frame assignment so distinct spaces never share frames.
+func New(geom addr.Geometry, asid uint64) *AddressSpace {
+	return &AddressSpace{
+		geom:   geom,
+		pages:  make(map[uint64]uint64),
+		pinned: make(map[uint64]bool),
+		asid:   asid,
+		salt:   asid*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+	}
+}
+
+// Geometry returns the page geometry.
+func (as *AddressSpace) Geometry() addr.Geometry { return as.geom }
+
+// ASID returns the address-space identifier.
+func (as *AddressSpace) ASID() uint64 { return as.asid }
+
+// PageColors is the page-coloring modulus: the allocator preserves the low
+// log2(PageColors) frame bits so physically-indexed caches see the same
+// index bits a virtually-indexed cache would — standard OS page coloring,
+// which the paper's PI-PT comparison implicitly assumes (otherwise PI-PT
+// would suffer arbitrary extra conflict misses on top of its serialization
+// penalty).
+const PageColors = 16
+
+// frameFor deterministically scatters a fresh frame for vpn, preserving the
+// page color.
+func (as *AddressSpace) frameFor(n, vpn uint64) uint64 {
+	x := (n + 1) * 0xBF58476D1CE4E5B9
+	x ^= as.salt
+	x ^= x >> 29
+	// Keep frames within a bounded physical space, distinct from the VPN
+	// ranges our code images use (which start near 0), and colored.
+	pfn := (x % (1 << 28)) | (1 << 28)
+	return pfn&^uint64(PageColors-1) | vpn&uint64(PageColors-1)
+}
+
+// Walk returns the PFN for vpn, mapping the page on first touch. This is the
+// page-table walker handed to tlb.TLB.Lookup.
+func (as *AddressSpace) Walk(vpn uint64) uint64 {
+	as.stats.Walks++
+	if pfn, ok := as.pages[vpn]; ok {
+		return pfn
+	}
+	pfn := as.frameFor(as.next, vpn)
+	as.next++
+	as.pages[vpn] = pfn
+	as.stats.Maps++
+	return pfn
+}
+
+// Lookup returns the current mapping without allocating.
+func (as *AddressSpace) Lookup(vpn uint64) (uint64, bool) {
+	pfn, ok := as.pages[vpn]
+	return pfn, ok
+}
+
+// Translate maps a full virtual address to a physical address, walking the
+// page table directly (no TLB) — used by oracle and test code.
+func (as *AddressSpace) Translate(va addr.VAddr) addr.PAddr {
+	pfn := as.Walk(as.geom.VPN(va))
+	return as.geom.Translate(pfn, va)
+}
+
+// Pin marks vpn as not evictable/remappable — the OS-side guarantee for the
+// page held in the CFR (§3.2: "the current page ... is not evicted").
+func (as *AddressSpace) Pin(vpn uint64) { as.pinned[vpn] = true }
+
+// Unpin releases the pin.
+func (as *AddressSpace) Unpin(vpn uint64) { delete(as.pinned, vpn) }
+
+// Pinned reports whether vpn is pinned.
+func (as *AddressSpace) Pinned(vpn uint64) bool { return as.pinned[vpn] }
+
+// OnInvalidate registers a hook called whenever a page's translation is
+// revoked. The CFR registers here so that a remap of the resident page
+// invalidates it, exactly as the iTLB entry would be invalidated.
+func (as *AddressSpace) OnInvalidate(f func(vpn uint64)) {
+	as.onInvalidate = append(as.onInvalidate, f)
+}
+
+func (as *AddressSpace) broadcast(vpn uint64) {
+	as.stats.Invalid++
+	for _, f := range as.onInvalidate {
+		f(vpn)
+	}
+}
+
+// Remap moves vpn to a fresh frame (page migration / swap-in at a new
+// location). It fails if the page is pinned, modelling the OS refusing to
+// move the CFR-resident page; callers that really must move it unpin first,
+// which the paper permits provided the CFR is invalidated.
+func (as *AddressSpace) Remap(vpn uint64) (uint64, error) {
+	if as.pinned[vpn] {
+		as.stats.Denied++
+		return 0, fmt.Errorf("vm: page %#x is pinned by the CFR", vpn)
+	}
+	if _, ok := as.pages[vpn]; !ok {
+		return 0, fmt.Errorf("vm: page %#x not mapped", vpn)
+	}
+	pfn := as.frameFor(as.next, vpn)
+	as.next++
+	as.pages[vpn] = pfn
+	as.stats.Remaps++
+	as.broadcast(vpn)
+	return pfn, nil
+}
+
+// Unmap removes the mapping entirely (page evicted to disk).
+func (as *AddressSpace) Unmap(vpn uint64) error {
+	if as.pinned[vpn] {
+		as.stats.Denied++
+		return fmt.Errorf("vm: page %#x is pinned by the CFR", vpn)
+	}
+	if _, ok := as.pages[vpn]; !ok {
+		return fmt.Errorf("vm: page %#x not mapped", vpn)
+	}
+	delete(as.pages, vpn)
+	as.stats.Unmaps++
+	as.broadcast(vpn)
+	return nil
+}
+
+// Stats returns a copy of the counters.
+func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// MappedPages returns how many pages are currently mapped.
+func (as *AddressSpace) MappedPages() int { return len(as.pages) }

@@ -1,0 +1,55 @@
+// Package xrand is a tiny deterministic pseudo-random source (SplitMix64)
+// used by the synthetic workload generator and executor.
+//
+// The simulator's results must be bit-reproducible across Go releases and
+// architectures — benchmark identities, branch outcomes and data streams all
+// derive from these streams — so we avoid math/rand's unspecified evolution
+// and implement the well-known SplitMix64 generator directly.
+package xrand
+
+// Source is a SplitMix64 stream.
+type Source struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
+
+// Range returns a value in [lo, hi] inclusive. It panics if hi < lo.
+func (s *Source) Range(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: empty range")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Fork derives an independent stream from this one, tagged with id so two
+// forks with different ids diverge even from identical parent states.
+func (s *Source) Fork(id uint64) *Source {
+	return New(s.Uint64() ^ (id * 0xD1B54A32D192ED03))
+}

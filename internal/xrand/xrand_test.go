@@ -1,0 +1,122 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between distinct seeds", same)
+	}
+}
+
+func TestKnownVector(t *testing.T) {
+	// SplitMix64 with seed 0: first output is the mix of 0x9E3779B97F4A7C15.
+	s := New(0)
+	if got := s.Uint64(); got != 0xE220A8397B1DCDAF {
+		t.Errorf("first output = %#x, want 0xE220A8397B1DCDAF", got)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Bounds(t *testing.T) {
+	s := New(7)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	s := New(11)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.Range(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("Range(3,5) = %d", v)
+		}
+		seen[v] = true
+	}
+	if !seen[3] || !seen[4] || !seen[5] {
+		t.Error("Range should cover all values")
+	}
+	if s.Range(4, 4) != 4 {
+		t.Error("degenerate range")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(5)
+	f1 := parent.Fork(1)
+	parent2 := New(5)
+	f2 := parent2.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forks with different ids should diverge")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := New(1)
+	for _, f := range []func(){
+		func() { s.Intn(0) },
+		func() { s.Intn(-1) },
+		func() { s.Range(5, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
