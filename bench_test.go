@@ -6,6 +6,8 @@ package itlbcfr_test
 // use cmd/itlbtables for full-length regeneration.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"itlbcfr/internal/cache"
@@ -61,6 +63,27 @@ func BenchmarkFigure6(b *testing.B) { benchTable(b, exp.Figure6) }
 
 func BenchmarkSweepPageSize(b *testing.B) { benchTable(b, exp.PageSizeSweep) }
 func BenchmarkSweepIL1(b *testing.B)      { benchTable(b, exp.IL1Sweep) }
+
+// benchAll regenerates every table and figure from scratch with the given
+// worker-pool bound; BenchmarkAllSerial vs BenchmarkAllParallel is the
+// engine's headline speedup.
+func benchAll(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchN, benchWarm)
+		r.Workers = workers
+		tables, err := exp.All(context.Background(), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) < 15 {
+			b.Fatalf("only %d tables", len(tables))
+		}
+	}
+}
+
+func BenchmarkAllSerial(b *testing.B)   { benchAll(b, 1) }
+func BenchmarkAllParallel(b *testing.B) { benchAll(b, runtime.NumCPU()) }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (instructions
 // per wall second) for the default configuration.

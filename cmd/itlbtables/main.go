@@ -3,22 +3,28 @@
 // Saving Instruction TLB Energy" (MICRO 2002), plus the §4.4 sensitivity
 // sweeps.
 //
-//	itlbtables                 # everything
-//	itlbtables -only 6         # just Table 6
-//	itlbtables -only figure4   # just Figure 4
-//	itlbtables -n 250000       # shorter runs
+//	itlbtables                       # everything, parallel across all CPUs
+//	itlbtables -parallel 1           # serial (byte-identical output)
+//	itlbtables -only 6               # just Table 6
+//	itlbtables -only figure4         # just Figure 4
+//	itlbtables -n 250000             # shorter runs
+//	itlbtables -format json -o t.json
+//	itlbtables -format csv           # machine-readable blocks on stdout
+//	itlbtables -timeout 30s          # abort (SIGINT also cancels cleanly)
 //
-// Identifiers for -only: 1..8, figure4, figure5, figure6, sweep-page,
-// sweep-il1.
+// Identifiers for -only: see -list. Per-table simulation counts and
+// wall-times are printed to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"itlbcfr/internal/cliutil"
 	"itlbcfr/internal/exp"
 	"itlbcfr/internal/sim"
 )
@@ -28,6 +34,10 @@ func main() {
 	warm := flag.Uint64("warmup", sim.DefaultWarmup, "warm-up instructions before measurement")
 	only := flag.String("only", "", "regenerate a single table/figure (see -list)")
 	list := flag.Bool("list", false, "list table/figure identifiers and exit")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (1 = serial)")
+	format := flag.String("format", "text", "output format: text, json, csv")
+	out := flag.String("o", "", "write tables to this file instead of stdout")
+	timeout := flag.Duration("timeout", 0, "abort regeneration after this duration (0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -35,20 +45,59 @@ func main() {
 		return
 	}
 
-	runner := exp.NewRunner(*n, *warm)
-	start := time.Now()
-
-	if *only != "" {
-		tb, err := exp.ByID(runner, *only)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		fmt.Println(tb.Render())
-	} else {
-		for _, tb := range exp.All(runner) {
-			fmt.Println(tb.Render())
-		}
+	f, err := exp.ParseFormat(*format)
+	if err != nil {
+		cliutil.Fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "%d simulations, %.1fs\n", runner.Runs(), time.Since(start).Seconds())
+
+	ctx, stop := cliutil.SignalContext(*timeout)
+	defer stop()
+
+	// Open the output early so a bad path fails before any compute.
+	w, closeOut, err := cliutil.OpenOutput(*out)
+	if err != nil {
+		cliutil.Fail(err)
+	}
+	defer closeOut()
+
+	runner := exp.NewRunner(*n, *warm)
+	runner.Workers = *parallel
+
+	specs := exp.Specs()
+	if *only != "" {
+		s, err := exp.SpecByID(*only)
+		if err != nil {
+			cliutil.Fail(err)
+		}
+		specs = []exp.Spec{s}
+	}
+
+	start := time.Now()
+	if len(specs) > 1 {
+		// Prefetch the union of every table's cells so the pool never
+		// drains at a table boundary while later tables still have work.
+		if err := runner.Prefetch(ctx, exp.Cells(specs)); err != nil {
+			cliutil.Fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "%-10s %4d sims  %6.2fs\n",
+			"prefetch", runner.Runs(), time.Since(start).Seconds())
+	}
+	tables := make([]exp.Table, 0, len(specs))
+	for _, s := range specs {
+		runsBefore := runner.Runs()
+		t0 := time.Now()
+		tb, err := s.Generate(ctx, runner)
+		if err != nil {
+			cliutil.Fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "%-10s %4d sims  %6.2fs\n",
+			s.ID, runner.Runs()-runsBefore, time.Since(t0).Seconds())
+		tables = append(tables, tb)
+	}
+
+	if err := exp.WriteTables(w, f, tables); err != nil {
+		cliutil.Fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d simulations, %.1fs wall (parallel=%d)\n",
+		runner.Runs(), time.Since(start).Seconds(), *parallel)
 }

@@ -15,7 +15,9 @@
 // Entry points:
 //
 //   - internal/sim.Run — one simulation (benchmark × scheme × style × iTLB)
-//   - internal/exp — regenerates every table and figure of the paper
+//   - internal/sim.Batch — many simulations over a bounded worker pool
+//   - internal/exp — declarative experiment specs; regenerates every table
+//     and figure of the paper, in parallel, with text/JSON/CSV output
 //   - cmd/itlbsim, cmd/itlbtables — command-line front ends
 //   - examples/ — runnable walkthroughs
 //

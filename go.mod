@@ -1,0 +1,3 @@
+module itlbcfr
+
+go 1.22

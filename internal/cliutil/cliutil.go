@@ -1,0 +1,47 @@
+// Package cliutil holds the scaffolding the command-line front ends share:
+// failure exit, signal/timeout context wiring, and -o output handling.
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Fail prints the error and exits with status 2.
+func Fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+// SignalContext returns a context canceled by SIGINT/SIGTERM and, when
+// timeout is positive, by the deadline. The returned stop releases both.
+func SignalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}
+
+// OpenOutput returns the writer for path ("" = stdout) and a close
+// function. It is meant to run before any compute so a bad path fails
+// fast.
+func OpenOutput(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}

@@ -1,649 +1,102 @@
 // Package exp regenerates every table and figure of the paper's evaluation
 // (§4): Tables 1–8 and Figures 4–6, plus the §4.4 sensitivity sweeps and the
-// §5 data-side future-work ablation. Each generator returns a Table that
-// renders to text; a Runner memoizes simulations so tables sharing
-// configurations (most of them) do not re-simulate.
+// §5 data-side future-work ablation.
+//
+// Each experiment is a declarative Spec — the Axes blocks that enumerate its
+// simulation cell set plus a row formatter — so the whole cell set is known
+// up front and prefetches in parallel through sim.Batch. A Runner memoizes
+// simulations so tables sharing configurations (most of them) do not
+// re-simulate; it is safe for concurrent use and coalesces duplicate
+// in-flight work. Because every simulation seeds its own RNG, a parallel
+// regeneration renders byte-identical output to a serial one.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
-	"itlbcfr/internal/cache"
-	"itlbcfr/internal/compiler"
-	"itlbcfr/internal/core"
 	"itlbcfr/internal/sim"
-	"itlbcfr/internal/tlb"
-	"itlbcfr/internal/workload"
 )
 
-// Table is a rendered experiment result.
-type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	// Notes carry caveats (known divergences from the paper's accounting).
-	Notes []string
+// Specs returns every table/figure declaration in presentation order.
+func Specs() []Spec {
+	return []Spec{
+		Table1Spec(),
+		Table2Spec(), Table3Spec(), Table4Spec(), Table5Spec(),
+		Table6Spec(), Table7Spec(), Table8Spec(),
+		Figure4Spec(), Figure5Spec(), Figure6Spec(),
+		PageSizeSweepSpec(), IL1SweepSpec(), DataCFRSweepSpec(), ContextSwitchSweepSpec(),
+	}
 }
 
-// Render formats the table as aligned text.
-func (t Table) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
+// Cells enumerates the union of every spec's simulation cells (duplicates
+// included; the Runner dedupes by configuration).
+func Cells(specs []Spec) []sim.Options {
+	var out []sim.Options
+	for _, s := range specs {
+		out = append(out, s.Cells()...)
 	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
+	return out
+}
+
+// All regenerates every table and figure. The union of every spec's cells
+// is prefetched first, so simulations from different tables run in parallel
+// (bounded by r.Workers) before any formatting happens.
+func All(ctx context.Context, r *Runner) ([]Table, error) {
+	specs := Specs()
+	if err := r.Prefetch(ctx, Cells(specs)); err != nil {
+		return nil, err
+	}
+	tables := make([]Table, 0, len(specs))
+	for _, s := range specs {
+		t, err := s.Generate(ctx, r)
+		if err != nil {
+			return tables, err
 		}
+		tables = append(tables, t)
 	}
-	line := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
-		}
-		b.WriteByte('\n')
-	}
-	line(t.Columns)
-	total := 0
-	for _, w := range widths {
-		total += w + 2
-	}
-	b.WriteString(strings.Repeat("-", total))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		line(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	return b.String()
+	return tables, nil
 }
 
-// Runner memoizes simulations.
-type Runner struct {
-	// Instructions and Warmup apply to every simulation (zero = package
-	// defaults in internal/sim).
-	Instructions uint64
-	Warmup       uint64
-
-	cache map[string]sim.Result
+// specAliases maps ByID identifiers to a spec constructor. Several aliases
+// may name the same spec.
+var specAliases = map[string]func() Spec{
+	"1": Table1Spec, "table1": Table1Spec,
+	"2": Table2Spec, "table2": Table2Spec,
+	"3": Table3Spec, "table3": Table3Spec,
+	"4": Table4Spec, "table4": Table4Spec,
+	"5": Table5Spec, "table5": Table5Spec,
+	"6": Table6Spec, "table6": Table6Spec,
+	"7": Table7Spec, "table7": Table7Spec,
+	"8": Table8Spec, "table8": Table8Spec,
+	"f4": Figure4Spec, "figure4": Figure4Spec,
+	"f5": Figure5Spec, "figure5": Figure5Spec,
+	"f6": Figure6Spec, "figure6": Figure6Spec,
+	"sweep-page": PageSizeSweepSpec, "page": PageSizeSweepSpec,
+	"sweep-il1": IL1SweepSpec, "il1": IL1SweepSpec,
+	"sweep-dcfr": DataCFRSweepSpec, "dcfr": DataCFRSweepSpec,
+	"sweep-cswitch": ContextSwitchSweepSpec, "cswitch": ContextSwitchSweepSpec,
 }
 
-// NewRunner builds a Runner with the given simulation length.
-func NewRunner(instructions, warmup uint64) *Runner {
-	return &Runner{Instructions: instructions, Warmup: warmup, cache: map[string]sim.Result{}}
+// SpecByID resolves a table/figure identifier ("2", "figure4",
+// "sweep-page", ...) to its declaration.
+func SpecByID(id string) (Spec, error) {
+	ctor, ok := specAliases[strings.ToLower(strings.TrimSpace(id))]
+	if !ok {
+		return Spec{}, fmt.Errorf("exp: unknown table/figure %q", id)
+	}
+	return ctor(), nil
 }
 
-func itlbKey(c tlb.Config) string {
-	if len(c.Levels) == 0 {
-		return "default"
+// ByID regenerates a single table/figure by its identifier.
+func ByID(ctx context.Context, r *Runner, id string) (Table, error) {
+	s, err := SpecByID(id)
+	if err != nil {
+		return Table{}, err
 	}
-	parts := make([]string, 0, len(c.Levels))
-	for _, l := range c.Levels {
-		parts = append(parts, fmt.Sprintf("%dx%d", l.Entries, l.Assoc))
-	}
-	k := strings.Join(parts, "+")
-	if c.Parallel {
-		k += "p"
-	}
-	return k
-}
-
-// Get returns the memoized result for the options, simulating on first use.
-func (r *Runner) Get(opt sim.Options) sim.Result {
-	if opt.Instructions == 0 {
-		opt.Instructions = r.Instructions
-	}
-	if opt.Warmup == 0 {
-		opt.Warmup = r.Warmup
-	}
-	pipeKey := ""
-	if opt.Pipeline != nil {
-		pipeKey = fmt.Sprintf("%+v", *opt.Pipeline)
-	}
-	key := fmt.Sprintf("%s|%v|%v|%s|%d|%d|%d|%s",
-		opt.Profile.Name, opt.Scheme, opt.Style, itlbKey(opt.ITLB),
-		opt.PageBytes, opt.Instructions, opt.Warmup, pipeKey)
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	res := sim.MustRun(opt)
-	r.cache[key] = res
-	return res
-}
-
-// Runs reports how many distinct simulations have executed.
-func (r *Runner) Runs() int { return len(r.cache) }
-
-func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
-func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
-
-// millions renders a count in millions with 3 decimals, the paper's unit.
-func millions(v uint64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
-
-// kcycles renders cycles in thousands (our runs are shorter than 250M).
-func kcycles(v uint64) string { return fmt.Sprintf("%.1f", float64(v)/1e3) }
-
-// uJ renders energy in microjoules (our runs are ~100× shorter than the
-// paper's, so millijoules would lose precision).
-func uJ(mj float64) string { return fmt.Sprintf("%.3f", mj*1e3) }
-
-// Table1 renders the default machine configuration.
-func Table1() Table {
-	p := sim.DefaultPipeline()
-	rows := [][]string{
-		{"RUU Size", fmt.Sprintf("%d instructions", p.RUUSize)},
-		{"LSQ Size", fmt.Sprintf("%d instructions", p.LSQSize)},
-		{"Fetch Width", fmt.Sprintf("%d instructions/cycle", p.FetchWidth)},
-		{"Issue Width", fmt.Sprintf("%d instructions/cycle (out-of-order)", p.IssueWidth)},
-		{"Commit Width", fmt.Sprintf("%d instructions/cycle (in-order)", p.CommitWidth)},
-		{"iL1", fmt.Sprintf("%dKB, %d-way, %dB blocks, %d cycle latency",
-			p.IL1.SizeBytes>>10, p.IL1.Assoc, p.IL1.BlockBytes, p.IL1.LatencyCycles)},
-		{"dL1", fmt.Sprintf("%dKB, %d-way, %dB blocks, %d cycle latency",
-			p.DL1.SizeBytes>>10, p.DL1.Assoc, p.DL1.BlockBytes, p.DL1.LatencyCycles)},
-		{"L2", fmt.Sprintf("%dMB unified, %d-way, %dB blocks, %d cycle latency",
-			p.L2.SizeBytes>>20, p.L2.Assoc, p.L2.BlockBytes, p.L2.LatencyCycles)},
-		{"iTLB", fmt.Sprintf("%d entries, fully associative, %d cycle miss penalty",
-			sim.DefaultITLB().Levels[0].Entries, sim.DefaultITLB().MissPenalty)},
-		{"dTLB", fmt.Sprintf("%d entries, fully associative, %d cycle miss penalty",
-			p.DTLB.Levels[0].Entries, p.DTLB.MissPenalty)},
-		{"Page Size", "4KB"},
-		{"DRAM", fmt.Sprintf("%d cycle latency", p.DRAMLatency)},
-		{"Predictor", fmt.Sprintf("Bimodal with 4 states (%d counters)", p.Bpred.BimodalEntries)},
-		{"BTB", fmt.Sprintf("%d entry, %d-way", p.Bpred.BTBEntries, p.Bpred.BTBAssoc)},
-		{"RAS", fmt.Sprintf("%d entries", p.Bpred.RASEntries)},
-		{"Mispred. penalty", fmt.Sprintf("%d cycles", p.Bpred.MispredictPenalty)},
-	}
-	return Table{ID: "Table 1", Title: "Default configuration parameters",
-		Columns: []string{"Parameter", "Value"}, Rows: rows}
-}
-
-// Table2 reproduces the benchmark-characteristics table: base cycles and
-// iTLB energy under VI-PT and VI-VT, iL1 miss rate, dynamic branches, and
-// the BOUNDARY/BRANCH page-crossing split.
-func Table2(r *Runner) Table {
-	var rows [][]string
-	for _, p := range workload.Profiles() {
-		vipt := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT})
-		vivt := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIVT})
-		cross := vipt.CrossBoundary + vipt.CrossBranch
-		bPct, brPct := "-", "-"
-		if cross > 0 {
-			bPct = pct(float64(vipt.CrossBoundary) / float64(cross))
-			brPct = pct(float64(vipt.CrossBranch) / float64(cross))
-		}
-		rows = append(rows, []string{
-			p.Name,
-			kcycles(vipt.Cycles), uJ(vipt.EnergyMJ),
-			kcycles(vivt.Cycles), uJ(vivt.EnergyMJ),
-			f3(vipt.IL1MissRate()),
-			fmt.Sprintf("%s (%s)", millions(vipt.DynBranches),
-				pct(float64(vipt.DynBranches)/float64(vipt.Committed))),
-			fmt.Sprintf("%d (%s)", vipt.CrossBoundary, bPct),
-			fmt.Sprintf("%d (%s)", vipt.CrossBranch, brPct),
-		})
-	}
-	return Table{
-		ID:    "Table 2",
-		Title: "Benchmarks and their characteristics using the default configuration",
-		Columns: []string{"Benchmark", "VI-PT Kcycles", "VI-PT E(uJ)", "VI-VT Kcycles",
-			"VI-VT E(uJ)", "iL1 miss", "Branches M (pct)", "BOUNDARY", "BRANCH"},
-		Rows: rows,
-		Notes: []string{
-			"cycles in thousands, energies in microjoules (runs are shorter than the paper's 250M instructions)",
-			"VI-VT base energy counts one iTLB access per fetch-side iL1 miss; the paper's VI-VT base accounting is several times higher (see EXPERIMENTS.md)",
-		},
-	}
-}
-
-// Table3 reproduces the dynamic lookup counts of SoCA, SoLA and IA under
-// VI-PT, split into BOUNDARY and BRANCH causes.
-func Table3(r *Runner) Table {
-	var rows [][]string
-	for _, p := range workload.Profiles() {
-		row := []string{p.Name}
-		for _, sch := range []core.Scheme{core.SoCA, core.SoLA, core.IA} {
-			res := r.Get(sim.Options{Profile: p, Scheme: sch, Style: cache.VIPT})
-			tot := res.Engine.LookupsBoundary + res.Engine.LookupsBranch
-			if tot == 0 {
-				tot = 1
-			}
-			row = append(row,
-				fmt.Sprintf("%d (%s)", res.Engine.LookupsBoundary,
-					pct(float64(res.Engine.LookupsBoundary)/float64(tot))),
-				fmt.Sprintf("%d (%s)", res.Engine.LookupsBranch,
-					pct(float64(res.Engine.LookupsBranch)/float64(tot))),
-			)
-		}
-		rows = append(rows, row)
-	}
-	return Table{
-		ID:    "Table 3",
-		Title: "Dynamic number of iTLB lookups for SoCA, SoLA, and IA (VI-PT)",
-		Columns: []string{"Benchmark", "SoCA BOUNDARY", "SoCA BRANCH", "SoLA BOUNDARY",
-			"SoLA BRANCH", "IA BOUNDARY", "IA BRANCH"},
-		Rows: rows,
-	}
-}
-
-// Table4 reproduces the static and dynamic branch statistics.
-func Table4(r *Runner) Table {
-	var rows [][]string
-	for _, p := range workload.Profiles() {
-		img := workload.MustGenerate(p)
-		_, st := compiler.MustCompile(img, compiler.Options{InsertBoundaryStubs: true})
-		dyn := r.Get(sim.Options{Profile: p, Scheme: core.SoLA, Style: cache.VIPT})
-		rows = append(rows, []string{
-			p.Name,
-			fmt.Sprintf("%d", st.TotalSites),
-			fmt.Sprintf("%d (%s)", st.Analyzable, pct(st.AnalyzableFrac())),
-			fmt.Sprintf("%d (%s)", st.CrossingPage, pct(1-st.InPageFrac())),
-			fmt.Sprintf("%d (%s)", st.InPage, pct(st.InPageFrac())),
-			fmt.Sprintf("%d", dyn.DynBranches),
-			fmt.Sprintf("%d (%s)", dyn.DynAnalyzable,
-				pct(float64(dyn.DynAnalyzable)/float64(max64(dyn.DynBranches, 1)))),
-			fmt.Sprintf("%d (%s)", dyn.DynCrossingBits,
-				pct(float64(dyn.DynCrossingBits)/float64(max64(dyn.DynAnalyzable, 1)))),
-			fmt.Sprintf("%d (%s)", dyn.DynInPage,
-				pct(float64(dyn.DynInPage)/float64(max64(dyn.DynAnalyzable, 1)))),
-		})
-	}
-	return Table{
-		ID:    "Table 4",
-		Title: "Static and dynamic branch statistics",
-		Columns: []string{"Benchmark", "St.Total", "St.Analyzable", "St.Crossing", "St.InPage",
-			"Dy.Total", "Dy.Analyzable", "Dy.Crossing", "Dy.InPage"},
-		Rows: rows,
-	}
-}
-
-// Table5 reproduces the branch predictor accuracies.
-func Table5(r *Runner) Table {
-	row := make([]string, 0, 6)
-	cols := make([]string, 0, 6)
-	for _, p := range workload.Profiles() {
-		res := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT})
-		cols = append(cols, p.Name)
-		row = append(row, pct(res.Bpred.Accuracy()))
-	}
-	return Table{ID: "Table 5", Title: "Branch predictor accuracy",
-		Columns: cols, Rows: [][]string{row}}
-}
-
-// ITLBSweep lists Table 6/7's four monolithic iTLB design points.
-func ITLBSweep() []struct {
-	Name string
-	Cfg  tlb.Config
-} {
-	return []struct {
-		Name string
-		Cfg  tlb.Config
-	}{
-		{"1", tlb.Mono(1, 1)},
-		{"8,FA", tlb.Mono(8, 8)},
-		{"16,2w", tlb.Mono(16, 2)},
-		{"32,FA", tlb.Mono(32, 32)},
-	}
-}
-
-// Table6 reproduces energies (VI-PT, VI-VT) and VI-VT cycles for Base, OPT
-// and IA across the four iTLB configurations.
-func Table6(r *Runner) Table {
-	var rows [][]string
-	for _, it := range ITLBSweep() {
-		for _, p := range workload.Profiles() {
-			get := func(sch core.Scheme, style cache.Style) sim.Result {
-				return r.Get(sim.Options{Profile: p, Scheme: sch, Style: style, ITLB: it.Cfg})
-			}
-			bPT, oPT, iPT := get(core.Base, cache.VIPT), get(core.OPT, cache.VIPT), get(core.IA, cache.VIPT)
-			bVT, oVT, iVT := get(core.Base, cache.VIVT), get(core.OPT, cache.VIVT), get(core.IA, cache.VIVT)
-			norm := func(v, base float64) string {
-				if base == 0 {
-					return "-"
-				}
-				return fmt.Sprintf("(%s)", pct(v/base))
-			}
-			rows = append(rows, []string{
-				it.Name, p.Name,
-				uJ(bPT.EnergyMJ),
-				uJ(oPT.EnergyMJ) + " " + norm(oPT.EnergyMJ, bPT.EnergyMJ),
-				uJ(iPT.EnergyMJ) + " " + norm(iPT.EnergyMJ, bPT.EnergyMJ),
-				uJ(bVT.EnergyMJ),
-				uJ(oVT.EnergyMJ) + " " + norm(oVT.EnergyMJ, bVT.EnergyMJ),
-				uJ(iVT.EnergyMJ) + " " + norm(iVT.EnergyMJ, bVT.EnergyMJ),
-				kcycles(bVT.Cycles),
-				kcycles(oVT.Cycles) + " " + norm(float64(oVT.Cycles), float64(bVT.Cycles)),
-				kcycles(iVT.Cycles) + " " + norm(float64(iVT.Cycles), float64(bVT.Cycles)),
-			})
-		}
-	}
-	return Table{
-		ID:    "Table 6",
-		Title: "Energy and VI-VT cycles across iTLB configurations (Base / OPT / IA)",
-		Columns: []string{"iTLB", "Benchmark", "PT Base E", "PT OPT E", "PT IA E",
-			"VT Base E", "VT OPT E", "VT IA E", "VT Base KC", "VT OPT KC", "VT IA KC"},
-		Rows: rows,
-		Notes: []string{
-			"E in microjoules, KC = kilocycles; parenthesized = percentage of the base case",
-		},
-	}
-}
-
-// Table7 reproduces IA's VI-PT execution cycles across iTLB configurations.
-func Table7(r *Runner) Table {
-	var rows [][]string
-	for _, p := range workload.Profiles() {
-		row := []string{p.Name}
-		for _, it := range ITLBSweep() {
-			res := r.Get(sim.Options{Profile: p, Scheme: core.IA, Style: cache.VIPT, ITLB: it.Cfg})
-			row = append(row, kcycles(res.Cycles))
-		}
-		rows = append(rows, row)
-	}
-	return Table{
-		ID:      "Table 7",
-		Title:   "Execution cycles (kilocycles) with different iTLB configurations for IA (VI-PT)",
-		Columns: []string{"Benchmark", "1-entry", "8-entry FA", "16-entry 2w", "32-entry FA"},
-		Rows:    rows,
-	}
-}
-
-// Table8 reproduces the PI-PT comparison: base PI-PT, PI-PT+IA, base VI-PT,
-// base VI-VT (energy and cycles).
-func Table8(r *Runner) Table {
-	var rows [][]string
-	for _, p := range workload.Profiles() {
-		pB := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.PIPT})
-		pIA := r.Get(sim.Options{Profile: p, Scheme: core.IA, Style: cache.PIPT})
-		vPT := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT})
-		vVT := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIVT})
-		rows = append(rows, []string{
-			p.Name,
-			uJ(pB.EnergyMJ), kcycles(pB.Cycles),
-			uJ(pIA.EnergyMJ), kcycles(pIA.Cycles),
-			uJ(vPT.EnergyMJ), kcycles(vPT.Cycles),
-			uJ(vVT.EnergyMJ), kcycles(vVT.Cycles),
-		})
-	}
-	return Table{
-		ID:    "Table 8",
-		Title: "iTLB energy (uJ) and cycles (kilocycles) comparison",
-		Columns: []string{"Benchmark", "PI-PT(Base) E", "C", "PI-PT(IA) E", "C",
-			"VI-PT(Base) E", "C", "VI-VT(Base) E", "C"},
-		Rows: rows,
-	}
-}
-
-// Figure4 reproduces the normalized iTLB energy chart for both styles.
-func Figure4(r *Runner) Table {
-	var rows [][]string
-	schemes := []core.Scheme{core.HoA, core.SoCA, core.SoLA, core.IA, core.OPT}
-	for _, style := range []cache.Style{cache.VIPT, cache.VIVT} {
-		sums := map[core.Scheme]float64{}
-		for _, p := range workload.Profiles() {
-			base := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: style})
-			row := []string{style.String(), p.Name}
-			for _, sch := range schemes {
-				res := r.Get(sim.Options{Profile: p, Scheme: sch, Style: style})
-				n := res.EnergyMJ / base.EnergyMJ
-				sums[sch] += n
-				row = append(row, pct(n))
-			}
-			rows = append(rows, row)
-		}
-		avg := []string{style.String(), "AVERAGE"}
-		for _, sch := range schemes {
-			avg = append(avg, pct(sums[sch]/float64(len(workload.Profiles()))))
-		}
-		rows = append(rows, avg)
-	}
-	return Table{
-		ID:      "Figure 4",
-		Title:   "Normalized iTLB energy consumption (percent of base case)",
-		Columns: []string{"Style", "Benchmark", "HoA", "SoCA", "SoLA", "IA", "OPT"},
-		Rows:    rows,
-		Notes: []string{
-			"paper averages, VI-PT: HoA 5.69%, SoCA 12.24%, SoLA 5.01%, IA 3.82%, OPT 3.20%",
-			"VI-VT normalization differs from the paper's because of its base accounting (see EXPERIMENTS.md); orderings of the software schemes are preserved",
-		},
-	}
-}
-
-// Figure5 reproduces the normalized execution cycles under VI-VT.
-func Figure5(r *Runner) Table {
-	var rows [][]string
-	schemes := []core.Scheme{core.HoA, core.SoCA, core.SoLA, core.IA, core.OPT}
-	sums := map[core.Scheme]float64{}
-	for _, p := range workload.Profiles() {
-		base := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIVT})
-		row := []string{p.Name}
-		for _, sch := range schemes {
-			res := r.Get(sim.Options{Profile: p, Scheme: sch, Style: cache.VIVT})
-			n := float64(res.Cycles) / float64(base.Cycles)
-			sums[sch] += n
-			row = append(row, pct(n))
-		}
-		rows = append(rows, row)
-	}
-	avg := []string{"AVERAGE"}
-	for _, sch := range schemes {
-		avg = append(avg, pct(sums[sch]/float64(len(workload.Profiles()))))
-	}
-	rows = append(rows, avg)
-	return Table{
-		ID:      "Figure 5",
-		Title:   "Normalized execution cycles for VI-VT (percent of base case)",
-		Columns: []string{"Benchmark", "HoA", "SoCA", "SoLA", "IA", "OPT"},
-		Rows:    rows,
-	}
-}
-
-// Figure6 reproduces the two-level iTLB comparison: serial two-level base
-// machines against monolithic iTLBs running IA.
-func Figure6(r *Runner) Table {
-	var rows [][]string
-	cases := []struct {
-		name     string
-		twoLevel tlb.Config
-		mono     tlb.Config
-	}{
-		{"1 + 32FA vs mono 32FA+IA", tlb.TwoLevel(1, 1, 32, 32, false), tlb.Mono(32, 32)},
-		{"32FA + 96FA vs mono 128FA+IA", tlb.TwoLevel(32, 32, 96, 96, false), tlb.Mono(128, 128)},
-	}
-	for _, c := range cases {
-		for _, p := range workload.Profiles() {
-			two := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT, ITLB: c.twoLevel})
-			mono := r.Get(sim.Options{Profile: p, Scheme: core.IA, Style: cache.VIPT, ITLB: c.mono})
-			rows = append(rows, []string{
-				c.name, p.Name,
-				uJ(two.EnergyMJ), uJ(mono.EnergyMJ),
-				pct(two.EnergyMJ / mono.EnergyMJ),
-				kcycles(two.Cycles), kcycles(mono.Cycles),
-				pct(float64(two.Cycles) / float64(mono.Cycles)),
-			})
-		}
-	}
-	return Table{
-		ID:    "Figure 6",
-		Title: "Two-level iTLB vs monolithic iTLB with IA (VI-PT, serial lookup)",
-		Columns: []string{"Configuration", "Benchmark", "2-level E(uJ)", "mono+IA E(uJ)",
-			"E ratio", "2-level KC", "mono+IA KC", "C ratio"},
-		Rows: rows,
-		Notes: []string{
-			"paper: the 1+32 two-level base consumes ~1.55x the energy of monolithic 32FA with IA while IA is 2-10% faster",
-		},
-	}
-}
-
-// PageSizeSweep is the §4.4 page-size sensitivity: IA's lookup counts and
-// normalized energy with 4KB/8KB/16KB pages.
-func PageSizeSweep(r *Runner) Table {
-	var rows [][]string
-	for _, p := range workload.Profiles() {
-		row := []string{p.Name}
-		for _, pb := range []uint64{4096, 8192, 16384} {
-			base := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT, PageBytes: pb})
-			ia := r.Get(sim.Options{Profile: p, Scheme: core.IA, Style: cache.VIPT, PageBytes: pb})
-			row = append(row, fmt.Sprintf("%d (%s)", ia.Engine.Lookups, pct(ia.EnergyMJ/base.EnergyMJ)))
-		}
-		rows = append(rows, row)
-	}
-	return Table{
-		ID:      "Sweep P",
-		Title:   "Page-size sensitivity (§4.4): IA VI-PT lookups (normalized energy)",
-		Columns: []string{"Benchmark", "4KB", "8KB", "16KB"},
-		Rows:    rows,
-		Notes:   []string{"larger pages widen CFR coverage: fewer lookups, lower normalized energy"},
-	}
-}
-
-// IL1Sweep is the §4.4 iL1 sensitivity: IA's VI-VT cycle savings with
-// smaller and larger instruction caches.
-func IL1Sweep(r *Runner) Table {
-	sizes := []int{4 << 10, 8 << 10, 16 << 10}
-	var rows [][]string
-	for _, p := range workload.Profiles() {
-		row := []string{p.Name}
-		for _, size := range sizes {
-			pcfg := sim.DefaultPipeline()
-			pcfg.IL1.SizeBytes = size
-			base := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIVT, Pipeline: &pcfg})
-			ia := r.Get(sim.Options{Profile: p, Scheme: core.IA, Style: cache.VIVT, Pipeline: &pcfg})
-			row = append(row, fmt.Sprintf("%.2f%% (miss %s)",
-				100*(1-float64(ia.Cycles)/float64(base.Cycles)), f3(base.IL1MissRate())))
-		}
-		rows = append(rows, row)
-	}
-	return Table{
-		ID:      "Sweep C",
-		Title:   "iL1-size sensitivity (§4.4): IA cycle savings under VI-VT",
-		Columns: []string{"Benchmark", "4KB iL1", "8KB iL1", "16KB iL1"},
-		Rows:    rows,
-		Notes:   []string{"smaller iL1 -> more misses -> translation more often on the critical path -> bigger IA savings"},
-	}
-}
-
-// DataCFRSweep is the §5 future-work ablation: how many dTLB lookups a
-// data-side CFR would avoid, per benchmark.
-func DataCFRSweep(r *Runner) Table {
-	var rows [][]string
-	pcfg := sim.DefaultPipeline()
-	pcfg.DataCFR = true
-	for _, p := range workload.Profiles() {
-		res := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT, Pipeline: &pcfg})
-		total := res.DCFRHits + res.DCFRLookups
-		if total == 0 {
-			total = 1
-		}
-		rows = append(rows, []string{
-			p.Name,
-			fmt.Sprintf("%d", res.DCFRHits+res.DCFRLookups),
-			fmt.Sprintf("%d", res.DCFRHits),
-			pct(float64(res.DCFRHits) / float64(total)),
-		})
-	}
-	return Table{
-		ID:      "Sweep D",
-		Title:   "Data-side CFR (dCFR, §5 future work): dTLB lookups avoided",
-		Columns: []string{"Benchmark", "data references", "dCFR hits", "avoided"},
-		Rows:    rows,
-		Notes: []string{
-			"a single data-page register already removes most dTLB lookups — the data-reference analogue of the paper's instruction-side claim",
-		},
-	}
-}
-
-// ContextSwitchSweep exercises the §3.2 OS contract under pressure: the CFR
-// is saved/restored across context switches while the iTLB flushes, so the
-// CFR schemes' energy advantage persists (and base pays flush re-walks).
-func ContextSwitchSweep(r *Runner) Table {
-	var rows [][]string
-	for _, every := range []uint64{0, 50_000, 10_000} {
-		pcfg := sim.DefaultPipeline()
-		pcfg.ContextSwitchEvery = every
-		label := "none"
-		if every > 0 {
-			label = fmt.Sprintf("every %dK", every/1000)
-		}
-		for _, p := range workload.Profiles()[:3] { // representative subset
-			base := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT, Pipeline: &pcfg})
-			ia := r.Get(sim.Options{Profile: p, Scheme: core.IA, Style: cache.VIPT, Pipeline: &pcfg})
-			rows = append(rows, []string{
-				label, p.Name,
-				fmt.Sprintf("%d", base.ITLB.Walks),
-				fmt.Sprintf("%d", ia.ITLB.Walks),
-				pct(ia.EnergyMJ / base.EnergyMJ),
-			})
-		}
-	}
-	return Table{
-		ID:      "Sweep X",
-		Title:   "Context-switch pressure (§3.2): walks and IA's normalized energy",
-		Columns: []string{"Switches", "Benchmark", "Base walks", "IA walks", "IA E % of base"},
-		Rows:    rows,
-		Notes: []string{
-			"the CFR survives switches as saved/restored register state; IA's savings are flush-invariant",
-		},
-	}
-}
-
-// All returns every generator keyed by ID, in presentation order.
-func All(r *Runner) []Table {
-	return []Table{
-		Table1(),
-		Table2(r), Table3(r), Table4(r), Table5(r),
-		Table6(r), Table7(r), Table8(r),
-		Figure4(r), Figure5(r), Figure6(r),
-		PageSizeSweep(r), IL1Sweep(r), DataCFRSweep(r), ContextSwitchSweep(r),
-	}
-}
-
-// ByID regenerates a single table/figure by its identifier ("2", "figure4",
-// "sweep-page", ...).
-func ByID(r *Runner, id string) (Table, error) {
-	id = strings.ToLower(strings.TrimSpace(id))
-	switch id {
-	case "1", "table1":
-		return Table1(), nil
-	case "2", "table2":
-		return Table2(r), nil
-	case "3", "table3":
-		return Table3(r), nil
-	case "4", "table4":
-		return Table4(r), nil
-	case "5", "table5":
-		return Table5(r), nil
-	case "6", "table6":
-		return Table6(r), nil
-	case "7", "table7":
-		return Table7(r), nil
-	case "8", "table8":
-		return Table8(r), nil
-	case "f4", "figure4":
-		return Figure4(r), nil
-	case "f5", "figure5":
-		return Figure5(r), nil
-	case "f6", "figure6":
-		return Figure6(r), nil
-	case "sweep-page", "page":
-		return PageSizeSweep(r), nil
-	case "sweep-il1", "il1":
-		return IL1Sweep(r), nil
-	case "sweep-dcfr", "dcfr":
-		return DataCFRSweep(r), nil
-	case "sweep-cswitch", "cswitch":
-		return ContextSwitchSweep(r), nil
-	}
-	return Table{}, fmt.Errorf("exp: unknown table/figure %q", id)
+	return s.Generate(ctx, r)
 }
 
 // IDs lists the valid ByID identifiers.
@@ -652,11 +105,4 @@ func IDs() []string {
 		"figure4", "figure5", "figure6", "sweep-page", "sweep-il1", "sweep-dcfr", "sweep-cswitch"}
 	sort.Strings(ids)
 	return ids
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

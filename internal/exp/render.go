@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// Notes carry caveats (known divergences from the paper's accounting).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Format selects an output encoding for tables.
+type Format int
+
+const (
+	FormatText Format = iota
+	FormatJSON
+	FormatCSV
+)
+
+// ParseFormat recognizes "text", "json" and "csv".
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "text":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return 0, fmt.Errorf("exp: unknown format %q (text, json, csv)", s)
+}
+
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatCSV:
+		return "csv"
+	}
+	return "text"
+}
+
+// WriteTables encodes tables to w. Text matches Render with a blank line
+// between tables; JSON emits an indented array of table objects; CSV emits
+// one block per table (a "# ID — Title" comment line, the header row, the
+// data rows, and "# note:" lines) separated by blank lines.
+func WriteTables(w io.Writer, f Format, tables []Table) error {
+	switch f {
+	case FormatJSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
+	case FormatCSV:
+		for i, t := range tables {
+			if i > 0 {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title); err != nil {
+				return err
+			}
+			cw := csv.NewWriter(w)
+			if err := cw.Write(t.Columns); err != nil {
+				return err
+			}
+			if err := cw.WriteAll(t.Rows); err != nil {
+				return err
+			}
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			for _, n := range t.Notes {
+				if _, err := fmt.Fprintf(w, "# note: %s\n", n); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		for _, t := range tables {
+			if _, err := io.WriteString(w, t.Render()+"\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Cell formatters shared by the table and figure specs.
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// millions renders a count in millions with 3 decimals, the paper's unit.
+func millions(v uint64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
+
+// kcycles renders cycles in thousands (our runs are shorter than 250M).
+func kcycles(v uint64) string { return fmt.Sprintf("%.1f", float64(v)/1e3) }
+
+// uJ renders energy in microjoules (our runs are ~100× shorter than the
+// paper's, so millijoules would lose precision).
+func uJ(mj float64) string { return fmt.Sprintf("%.3f", mj*1e3) }

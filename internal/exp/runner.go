@@ -1,0 +1,205 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"itlbcfr/internal/sim"
+	"itlbcfr/internal/tlb"
+)
+
+// Runner memoizes simulations so tables sharing configurations (most of
+// them) do not re-simulate. It is safe for concurrent use: concurrent Get
+// calls with equal options coalesce onto a single in-flight simulation, and
+// Prefetch warms the memo in parallel through sim.Batch. The zero value is
+// ready to use and runs at the package defaults in internal/sim.
+type Runner struct {
+	// Instructions and Warmup apply to every simulation (zero = package
+	// defaults in internal/sim).
+	Instructions uint64
+	Warmup       uint64
+
+	// Workers bounds Prefetch's parallelism (0 = runtime.NumCPU(),
+	// 1 = serial).
+	Workers int
+
+	mu    sync.Mutex
+	cache map[string]*memoEntry
+	runs  int
+}
+
+// memoEntry is one memo slot. done is closed once res and err are valid;
+// waiters must not read them before it closes.
+type memoEntry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// NewRunner builds a Runner with the given simulation length.
+func NewRunner(instructions, warmup uint64) *Runner {
+	return &Runner{Instructions: instructions, Warmup: warmup}
+}
+
+// normalize applies the Runner's simulation length and canonicalizes
+// defaulted fields (empty iTLB, zero page size, nil pipeline) to their
+// explicit values, so that options that differ only in how they spell the
+// default share a memo slot instead of re-simulating.
+func (r *Runner) normalize(opt sim.Options) sim.Options {
+	if opt.Instructions == 0 {
+		opt.Instructions = r.Instructions
+	}
+	if opt.Warmup == 0 {
+		opt.Warmup = r.Warmup
+	}
+	if len(opt.ITLB.Levels) == 0 {
+		opt.ITLB = sim.DefaultITLB()
+	}
+	if opt.PageBytes == 0 {
+		opt.PageBytes = 4096
+	}
+	if opt.Pipeline == nil {
+		pcfg := sim.DefaultPipeline()
+		opt.Pipeline = &pcfg
+	}
+	return opt
+}
+
+func itlbKey(c tlb.Config) string {
+	if len(c.Levels) == 0 {
+		return "default"
+	}
+	parts := make([]string, 0, len(c.Levels))
+	for _, l := range c.Levels {
+		parts = append(parts, fmt.Sprintf("%dx%d", l.Entries, l.Assoc))
+	}
+	k := strings.Join(parts, "+")
+	if c.Parallel {
+		k += "p"
+	}
+	return k
+}
+
+// cacheKey identifies one simulation configuration.
+func cacheKey(opt sim.Options) string {
+	pipeKey := ""
+	if opt.Pipeline != nil {
+		pipeKey = fmt.Sprintf("%+v", *opt.Pipeline)
+	}
+	techKey := ""
+	if opt.Tech != nil {
+		techKey = fmt.Sprintf("%+v", *opt.Tech)
+	}
+	return fmt.Sprintf("%s|%v|%v|%s|%d|%d|%d|%s|%s",
+		opt.Profile.Name, opt.Scheme, opt.Style, itlbKey(opt.ITLB),
+		opt.PageBytes, opt.Instructions, opt.Warmup, pipeKey, techKey)
+}
+
+// claim returns the memo entry for key, reporting whether the caller now
+// owns it (owner == true means the caller must run the simulation and
+// settle the entry).
+func (r *Runner) claim(key string) (e *memoEntry, owner bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = make(map[string]*memoEntry)
+	}
+	if e, ok := r.cache[key]; ok {
+		return e, false
+	}
+	e = &memoEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	return e, true
+}
+
+// settle publishes a finished simulation: successes count toward Runs,
+// failures are removed from the memo so a later call can retry.
+func (r *Runner) settle(key string, e *memoEntry, res sim.Result, err error) {
+	r.mu.Lock()
+	if err != nil {
+		delete(r.cache, key)
+	} else {
+		r.runs++
+	}
+	r.mu.Unlock()
+	e.res, e.err = res, err
+	close(e.done)
+}
+
+// Get returns the memoized result for the options, simulating on first use.
+// Concurrent calls with equal options share one simulation. Get panics if
+// the simulation itself fails (the generators only use known-good options);
+// use Prefetch for error-returning bulk execution.
+func (r *Runner) Get(opt sim.Options) sim.Result {
+	opt = r.normalize(opt)
+	key := cacheKey(opt)
+	for {
+		e, owner := r.claim(key)
+		if owner {
+			res, err := sim.Run(opt)
+			r.settle(key, e, res, err)
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
+		<-e.done
+		if e.err == nil {
+			return e.res
+		}
+		// The owning call failed or was canceled before running; its
+		// entry has been removed, so retry (likely becoming the owner).
+	}
+}
+
+// Prefetch warms the memo for every option, executing the misses in
+// parallel through sim.Batch bounded by r.Workers. Options already cached
+// or in flight are skipped (their owner finishes them). It returns the
+// first simulation or context error; on cancellation the unfinished
+// entries are released so later Gets re-run them.
+func (r *Runner) Prefetch(ctx context.Context, opts []sim.Options) error {
+	var (
+		jobs    []sim.Options
+		keys    []string
+		entries []*memoEntry
+	)
+	seen := make(map[string]bool, len(opts))
+	for _, o := range opts {
+		o = r.normalize(o)
+		k := cacheKey(o)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		e, owner := r.claim(k)
+		if !owner {
+			continue
+		}
+		jobs = append(jobs, o)
+		keys = append(keys, k)
+		entries = append(entries, e)
+	}
+	if len(jobs) == 0 {
+		return ctx.Err()
+	}
+	var firstErr error
+	sim.Batch(ctx, jobs, sim.BatchOptions{
+		Workers: r.Workers,
+		OnComplete: func(i int, res sim.Result, err error) {
+			r.settle(keys[i], entries[i], res, err)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		},
+	})
+	return firstErr
+}
+
+// Runs reports how many distinct simulations have executed successfully.
+func (r *Runner) Runs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs
+}

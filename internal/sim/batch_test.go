@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/workload"
+)
+
+func tinyOptions(p workload.Profile) Options {
+	return Options{
+		Profile: p, Scheme: core.Base, Style: cache.VIPT,
+		Instructions: 5_000, Warmup: 1,
+	}
+}
+
+func TestBatchRunsEveryJob(t *testing.T) {
+	var jobs []Options
+	for _, p := range workload.Profiles() {
+		jobs = append(jobs, tinyOptions(p))
+	}
+	completions := make([]int, len(jobs))
+	results, errs := Batch(context.Background(), jobs, BatchOptions{
+		OnComplete: func(i int, res Result, err error) {
+			completions[i]++
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+			}
+		},
+	})
+	if len(results) != len(jobs) || len(errs) != len(jobs) {
+		t.Fatalf("got %d results, %d errs for %d jobs", len(results), len(errs), len(jobs))
+	}
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Errorf("job %d failed: %v", i, errs[i])
+		}
+		if results[i].Bench != jobs[i].Profile.Name {
+			t.Errorf("job %d: result for %q, want %q", i, results[i].Bench, jobs[i].Profile.Name)
+		}
+		if completions[i] != 1 {
+			t.Errorf("job %d completed %d times, want exactly once", i, completions[i])
+		}
+	}
+}
+
+// TestBatchErrorIsolation checks that one failing job does not poison the
+// others: its error is reported at its index and every other job succeeds.
+func TestBatchErrorIsolation(t *testing.T) {
+	jobs := []Options{
+		tinyOptions(workload.Mesa()),
+		{Profile: workload.Crafty(), Scheme: core.Base, Style: cache.VIPT,
+			Instructions: 5_000, Warmup: 1, PageBytes: 3000}, // not a power of two
+		tinyOptions(workload.Vortex()),
+	}
+	results, errs := Batch(context.Background(), jobs, BatchOptions{Workers: 2})
+	if errs[1] == nil {
+		t.Error("bad page size should fail")
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Errorf("job %d poisoned by job 1's failure: %v", i, errs[i])
+		}
+		if results[i].Committed == 0 {
+			t.Errorf("job %d produced no result", i)
+		}
+	}
+}
+
+// TestBatchCancellation cancels the context after the first completion and
+// checks that the batch returns promptly with partial results: jobs that
+// never ran carry the context's error.
+func TestBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]Options, 32)
+	for i := range jobs {
+		jobs[i] = tinyOptions(workload.Mesa())
+	}
+	var once sync.Once
+	start := time.Now()
+	results, errs := Batch(ctx, jobs, BatchOptions{
+		Workers: 2,
+		OnComplete: func(int, Result, error) {
+			once.Do(cancel)
+		},
+	})
+	elapsed := time.Since(start)
+	var ok, canceled int
+	for i := range jobs {
+		switch errs[i] {
+		case nil:
+			ok++
+			if results[i].Committed == 0 {
+				t.Errorf("job %d reported success but no result", i)
+			}
+		case context.Canceled:
+			canceled++
+		default:
+			t.Errorf("job %d: unexpected error %v", i, errs[i])
+		}
+	}
+	if ok == 0 {
+		t.Error("no job completed before cancellation")
+	}
+	if canceled == 0 {
+		t.Error("cancellation mid-batch should skip pending jobs")
+	}
+	// "Promptly": far less than the ~32 serial simulations would take.
+	if elapsed > 30*time.Second {
+		t.Errorf("canceled batch took %v", elapsed)
+	}
+}
+
+// TestRunBatchWorkerBound drives the pool engine directly and checks the
+// concurrency bound is respected.
+func TestRunBatchWorkerBound(t *testing.T) {
+	const workers, n = 3, 24
+	var cur, peak atomic.Int32
+	runBatch(context.Background(), n, workers, func(int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}, func(int, error) {})
+	if got := peak.Load(); got > workers {
+		t.Errorf("observed %d concurrent jobs, bound is %d", got, workers)
+	}
+}
+
+// TestRunBatchSerializedCompletion checks the completion callback is never
+// invoked concurrently (documented so callers need no locking).
+func TestRunBatchSerializedCompletion(t *testing.T) {
+	var inCallback atomic.Int32
+	var calls int // intentionally unsynchronized; -race flags violations
+	runBatch(context.Background(), 64, 8, func(int) error { return nil },
+		func(int, error) {
+			if inCallback.Add(1) != 1 {
+				t.Error("completion callback ran concurrently")
+			}
+			calls++
+			inCallback.Add(-1)
+		})
+	if calls != 64 {
+		t.Errorf("callback ran %d times, want 64", calls)
+	}
+}

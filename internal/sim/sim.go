@@ -117,6 +117,9 @@ func Run(opt Options) (Result, error) {
 	if len(itlbCfg.Levels) == 0 {
 		itlbCfg = DefaultITLB()
 	}
+	if err := itlbCfg.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: iTLB config: %w", err)
+	}
 	tech := energy.DefaultTech
 	if opt.Tech != nil {
 		tech = *opt.Tech
