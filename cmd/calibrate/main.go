@@ -2,20 +2,29 @@
 // benchmark next to the paper's published targets. It exists to tune the
 // workload profiles: run it after touching internal/workload/profiles.go.
 //
-//	go run ./cmd/calibrate [-n steps]
+//	go run ./cmd/calibrate [-n steps] [-o report.txt]
+//
+// Every profile is validated through sim.Options.Validate — the same path
+// sim.Run, the result store and the HTTP API use — before any measurement
+// runs, so a profile that calibrates here also simulates everywhere else.
+// SIGINT aborts cleanly between measurement strides.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
 	"itlbcfr/internal/addr"
 	"itlbcfr/internal/bpred"
 	"itlbcfr/internal/cache"
+	"itlbcfr/internal/cliutil"
 	"itlbcfr/internal/compiler"
+	"itlbcfr/internal/core"
 	"itlbcfr/internal/isa"
 	"itlbcfr/internal/program"
+	"itlbcfr/internal/sim"
 	"itlbcfr/internal/workload"
 )
 
@@ -41,19 +50,40 @@ var targets = map[string]target{
 
 func main() {
 	n := flag.Int("n", 1_000_000, "instructions to execute per benchmark")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
 	flag.Parse()
 
-	fmt.Printf("%-12s %-14s %-14s %-14s %-14s %-14s %-14s %-10s\n",
+	ctx, stop := cliutil.SignalContext(0)
+	defer stop()
+
+	// Open the output early so a bad path fails before any compute.
+	w, closeOut, err := cliutil.OpenOutput(*out)
+	if err != nil {
+		cliutil.Fail(err)
+	}
+	defer closeOut()
+
+	// Reject any profile sim.Run would reject before measuring anything:
+	// calibration results are only useful for configurations the simulator
+	// accepts.
+	for _, p := range workload.Profiles() {
+		opt := sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT,
+			Instructions: uint64(*n)}
+		if err := opt.Validate(); err != nil {
+			cliutil.Fail(err)
+		}
+	}
+
+	fmt.Fprintf(w, "%-12s %-14s %-14s %-14s %-14s %-14s %-14s %-10s\n",
 		"bench", "brFrac", "boundary%", "analyzable", "inPage", "accuracy", "iL1miss", "pages")
 	for _, p := range workload.Profiles() {
-		m, err := measure(p, *n)
+		m, err := measure(ctx, w, p, *n)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Fail(err)
 		}
 		tg := targets[p.Name]
 		pair := func(got, want float64) string { return fmt.Sprintf("%.3f/%.3f", got, want) }
-		fmt.Printf("%-12s %-14s %-14s %-14s %-14s %-14s %-14s %-10d\n",
+		fmt.Fprintf(w, "%-12s %-14s %-14s %-14s %-14s %-14s %-14s %-10d\n",
 			p.Name,
 			pair(m.brFrac, tg.brFrac),
 			pair(m.boundary, tg.boundary),
@@ -63,7 +93,7 @@ func main() {
 			pair(m.il1Miss, tg.il1Miss),
 			m.pages,
 		)
-		fmt.Printf("%-12s crossings/inst %.4f/%.4f  static: total=%d analyzable=%.3f inpage=%.3f\n",
+		fmt.Fprintf(w, "%-12s crossings/inst %.4f/%.4f  static: total=%d analyzable=%.3f inpage=%.3f\n",
 			"", m.crossFrac, tg.crossFrac, m.staticTotal, m.staticAnalyz, m.staticInPage)
 	}
 }
@@ -74,7 +104,7 @@ type measured struct {
 	staticAnalyz, staticInPage                                     float64
 }
 
-func measure(p workload.Profile, n int) (measured, error) {
+func measure(ctx context.Context, w io.Writer, p workload.Profile, n int) (measured, error) {
 	img, err := workload.Generate(p)
 	if err != nil {
 		return measured{}, err
@@ -94,6 +124,11 @@ func measure(p workload.Profile, n int) (measured, error) {
 		kindCount                                   [isa.NumKinds]uint64
 	)
 	for int(insts) < n {
+		if insts%65536 == 0 {
+			if err := ctx.Err(); err != nil {
+				return measured{}, err
+			}
+		}
 		s := ex.Step()
 		insts++
 		il1.Access(uint64(s.PC), uint64(s.PC), false)
@@ -121,7 +156,7 @@ func measure(p workload.Profile, n int) (measured, error) {
 	}
 	cross := boundary + branchCross
 	if ctis > 0 {
-		fmt.Printf("%-12s kinds: br=%.2f jmp=%.2f call=%.2f ret=%.2f ijmp=%.2f\n", "",
+		fmt.Fprintf(w, "%-12s kinds: br=%.2f jmp=%.2f call=%.2f ret=%.2f ijmp=%.2f\n", "",
 			float64(kindCount[isa.CondBranch])/float64(ctis),
 			float64(kindCount[isa.Jump])/float64(ctis),
 			float64(kindCount[isa.Call])/float64(ctis),

@@ -1,0 +1,80 @@
+// Command itlbd serves simulation results over HTTP: a long-lived daemon
+// around the memoizing Runner, so the ~276 simulations behind the paper's
+// evaluation are paid for once and then served from memory — and, with
+// -cache, from disk across restarts.
+//
+//	itlbd                                   # listen on 127.0.0.1:8080
+//	itlbd -addr :9090 -cache /var/itlbcfr   # durable result store
+//	itlbd -n 250000 -warmup 50000           # shorter simulations
+//	itlbd -parallel 4 -req-timeout 2m       # bound load per request
+//
+// Endpoints (see internal/server): GET /healthz, GET /v1/specs,
+// GET /v1/tables/{id}?format=text|json|csv, POST /v1/sim, GET /v1/stats.
+//
+//	curl -s localhost:8080/v1/tables/6
+//	curl -s -X POST localhost:8080/v1/sim \
+//	  -d '{"bench":"vortex","scheme":"IA","style":"VI-PT","itlb":"16x2"}'
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
+// requests get -grace to finish, then the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"itlbcfr/internal/cliutil"
+	"itlbcfr/internal/exp"
+	"itlbcfr/internal/server"
+	"itlbcfr/internal/sim"
+	"itlbcfr/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	cacheDir := flag.String("cache", "", "disk-backed result store directory (empty = memory only)")
+	n := flag.Uint64("n", sim.DefaultInstructions, "committed instructions per simulation")
+	warm := flag.Uint64("warmup", sim.DefaultWarmup, "warm-up instructions before measurement")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (tables and requests)")
+	reqTimeout := flag.Duration("req-timeout", time.Minute, "per-request deadline (0 = none)")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace for in-flight requests")
+	flag.Parse()
+
+	runner := exp.NewRunner(*n, *warm)
+	runner.Workers = *parallel
+
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			cliutil.Fail(err)
+		}
+		runner.Backing = st
+	}
+
+	srv := server.New(server.Config{
+		Runner:         runner,
+		Store:          st,
+		MaxConcurrent:  *parallel,
+		RequestTimeout: *reqTimeout,
+		ShutdownGrace:  *grace,
+	})
+
+	ctx, stop := cliutil.SignalContext(0)
+	defer stop()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "itlbd listening on http://%s (n=%d warmup=%d parallel=%d cache=%q)\n",
+		l.Addr(), *n, *warm, *parallel, *cacheDir)
+	if err := srv.Serve(ctx, l); err != nil {
+		cliutil.Fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "itlbd: graceful shutdown complete")
+}

@@ -9,6 +9,7 @@
 //	itlbsim -bench all -scheme Base,IA -parallel 8     # 12-run batch
 //	itlbsim -bench all -format csv -o results.csv      # machine-readable
 //	itlbsim -bench all -timeout 1m                     # SIGINT also cancels
+//	itlbsim -bench all -cache ~/.itlbcfr               # reuse results across runs
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"itlbcfr/internal/core"
 	"itlbcfr/internal/exp"
 	"itlbcfr/internal/sim"
+	"itlbcfr/internal/store"
 	"itlbcfr/internal/tlb"
 	"itlbcfr/internal/workload"
 )
@@ -48,45 +50,13 @@ func (e *errWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func parseStyle(s string) (cache.Style, error) {
-	switch strings.ToUpper(strings.ReplaceAll(s, "-", "")) {
-	case "VIVT":
-		return cache.VIVT, nil
-	case "VIPT":
-		return cache.VIPT, nil
-	case "PIPT":
-		return cache.PIPT, nil
-	}
-	return 0, fmt.Errorf("unknown style %q (VI-VT, VI-PT, PI-PT)", s)
-}
-
 // parseITLB accepts "32" (FA), "16x2" (entries x assoc) and "1+32"
-// (two-level serial FA).
+// (two-level serial FA); empty means the paper's default iTLB.
 func parseITLB(s string) (tlb.Config, error) {
 	if s == "" {
 		return sim.DefaultITLB(), nil
 	}
-	if lv := strings.Split(s, "+"); len(lv) == 2 {
-		l1, err1 := strconv.Atoi(lv[0])
-		l2, err2 := strconv.Atoi(lv[1])
-		if err1 != nil || err2 != nil {
-			return tlb.Config{}, fmt.Errorf("bad two-level iTLB %q", s)
-		}
-		return tlb.TwoLevel(l1, l1, l2, l2, false), nil
-	}
-	if xa := strings.Split(s, "x"); len(xa) == 2 {
-		e, err1 := strconv.Atoi(xa[0])
-		a, err2 := strconv.Atoi(xa[1])
-		if err1 != nil || err2 != nil {
-			return tlb.Config{}, fmt.Errorf("bad iTLB geometry %q", s)
-		}
-		return tlb.Mono(e, a), nil
-	}
-	e, err := strconv.Atoi(s)
-	if err != nil {
-		return tlb.Config{}, fmt.Errorf("bad iTLB %q", s)
-	}
-	return tlb.Mono(e, e), nil
+	return tlb.ParseSpec(s)
 }
 
 func parseBenches(s string) ([]workload.Profile, error) {
@@ -119,7 +89,7 @@ func parseSchemes(s string) ([]core.Scheme, error) {
 func parseStyles(s string) ([]cache.Style, error) {
 	var out []cache.Style
 	for _, name := range strings.Split(s, ",") {
-		st, err := parseStyle(strings.TrimSpace(name))
+		st, err := cache.ParseStyle(strings.TrimSpace(name))
 		if err != nil {
 			return nil, err
 		}
@@ -209,6 +179,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json, csv")
 	out := flag.String("o", "", "write results to this file instead of stdout")
 	timeout := flag.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
+	cacheDir := flag.String("cache", "", "disk-backed result store directory (empty = no reuse across runs)")
 	flag.Parse()
 
 	fail := cliutil.Fail
@@ -256,8 +227,20 @@ func main() {
 	ctx, stop := cliutil.SignalContext(*timeout)
 	defer stop()
 
+	// Batches run through the memoizing Runner so duplicate configurations
+	// coalesce and -cache persists results across invocations.
+	runner := exp.NewRunner(*n, *warm)
+	runner.Workers = *parallel
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		runner.Backing = st
+	}
+
 	start := time.Now()
-	results, errs := sim.Batch(ctx, jobs, sim.BatchOptions{Workers: *parallel})
+	results, errs := runner.Batch(ctx, jobs)
 
 	failed := 0
 	var ok []sim.Result
@@ -312,6 +295,11 @@ func main() {
 	if len(jobs) > 1 {
 		fmt.Fprintf(os.Stderr, "%d/%d simulations, %.1fs wall (parallel=%d)\n",
 			len(ok), len(jobs), time.Since(start).Seconds(), *parallel)
+	}
+	if *cacheDir != "" {
+		stats := runner.Stats()
+		fmt.Fprintf(os.Stderr, "cache %s: %d hits, %d computed, %d write errors\n",
+			*cacheDir, stats.BackingHits, stats.Runs, stats.PutErrors)
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -11,6 +11,8 @@
 //	itlbtables -format json -o t.json
 //	itlbtables -format csv           # machine-readable blocks on stdout
 //	itlbtables -timeout 30s          # abort (SIGINT also cancels cleanly)
+//	itlbtables -cache ~/.itlbcfr     # durable result store: a second run
+//	                                 # re-renders from disk, byte-identical
 //
 // Identifiers for -only: see -list. Per-table simulation counts and
 // wall-times are printed to stderr.
@@ -27,6 +29,7 @@ import (
 	"itlbcfr/internal/cliutil"
 	"itlbcfr/internal/exp"
 	"itlbcfr/internal/sim"
+	"itlbcfr/internal/store"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json, csv")
 	out := flag.String("o", "", "write tables to this file instead of stdout")
 	timeout := flag.Duration("timeout", 0, "abort regeneration after this duration (0 = none)")
+	cacheDir := flag.String("cache", "", "disk-backed result store directory (empty = no reuse across runs)")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +66,13 @@ func main() {
 
 	runner := exp.NewRunner(*n, *warm)
 	runner.Workers = *parallel
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			cliutil.Fail(err)
+		}
+		runner.Backing = st
+	}
 
 	specs := exp.Specs()
 	if *only != "" {
@@ -98,6 +109,11 @@ func main() {
 	if err := exp.WriteTables(w, f, tables); err != nil {
 		cliutil.Fail(err)
 	}
+	stats := runner.Stats()
 	fmt.Fprintf(os.Stderr, "%d simulations, %.1fs wall (parallel=%d)\n",
-		runner.Runs(), time.Since(start).Seconds(), *parallel)
+		stats.Runs, time.Since(start).Seconds(), *parallel)
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "cache %s: %d hits, %d computed, %d write errors\n",
+			*cacheDir, stats.BackingHits, stats.Runs, stats.PutErrors)
+	}
 }

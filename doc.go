@@ -18,7 +18,11 @@
 //   - internal/sim.Batch — many simulations over a bounded worker pool
 //   - internal/exp — declarative experiment specs; regenerates every table
 //     and figure of the paper, in parallel, with text/JSON/CSV output
+//   - internal/store — durable, content-addressed result store (the -cache
+//     flag; canonical configuration keys shared by memo, disk and API)
+//   - internal/server — the HTTP JSON service fronting a shared Runner
 //   - cmd/itlbsim, cmd/itlbtables — command-line front ends
+//   - cmd/itlbd — the long-lived simulation daemon
 //   - examples/ — runnable walkthroughs
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured

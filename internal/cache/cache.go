@@ -8,7 +8,10 @@
 // (physical, physical) for PI-PT.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Style enumerates iL1 lookup disciplines (§2).
 type Style int
@@ -35,6 +38,42 @@ func (s Style) String() string {
 		return "PI-PT"
 	}
 	return fmt.Sprintf("style(%d)", int(s))
+}
+
+// ParseStyle converts a style name to a Style; dashes are optional and case
+// is ignored ("VI-PT", "vipt").
+func ParseStyle(s string) (Style, error) {
+	switch strings.ToUpper(strings.ReplaceAll(s, "-", "")) {
+	case "VIVT":
+		return VIVT, nil
+	case "VIPT":
+		return VIPT, nil
+	case "PIPT":
+		return PIPT, nil
+	}
+	return 0, fmt.Errorf("cache: unknown style %q (VI-VT, VI-PT, PI-PT)", s)
+}
+
+// Known reports whether s is one of the defined styles.
+func (s Style) Known() bool { return s >= VIVT && s <= PIPT }
+
+// MarshalText encodes the style by name, so JSON carries "VI-PT" rather
+// than an ordinal that would silently re-map if the constant order changed.
+func (s Style) MarshalText() ([]byte, error) {
+	if !s.Known() {
+		return nil, fmt.Errorf("cache: cannot marshal unknown style %d", int(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText decodes a style name.
+func (s *Style) UnmarshalText(text []byte) error {
+	st, err := ParseStyle(string(text))
+	if err != nil {
+		return err
+	}
+	*s = st
+	return nil
 }
 
 // NeedsTranslationEveryFetch reports whether the style consumes a physical

@@ -33,6 +33,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"itlbcfr/internal/addr"
 	"itlbcfr/internal/bpred"
@@ -69,14 +70,36 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
 
-// ParseScheme converts a name to a Scheme.
+// ParseScheme converts a name to a Scheme (case-insensitive).
 func ParseScheme(name string) (Scheme, error) {
 	for i, n := range schemeNames {
-		if n == name {
+		if strings.EqualFold(n, name) {
 			return Scheme(i), nil
 		}
 	}
 	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// Known reports whether s is one of the defined schemes.
+func (s Scheme) Known() bool { return s >= 0 && int(s) < len(schemeNames) }
+
+// MarshalText encodes the scheme by name, so JSON carries "IA" rather than
+// an ordinal that would silently re-map if the constant order ever changed.
+func (s Scheme) MarshalText() ([]byte, error) {
+	if !s.Known() {
+		return nil, fmt.Errorf("core: cannot marshal unknown scheme %d", int(s))
+	}
+	return []byte(schemeNames[s]), nil
+}
+
+// UnmarshalText decodes a scheme name.
+func (s *Scheme) UnmarshalText(text []byte) error {
+	sch, err := ParseScheme(string(text))
+	if err != nil {
+		return err
+	}
+	*s = sch
+	return nil
 }
 
 // NeedsStubs reports whether the scheme requires the compiler's BOUNDARY

@@ -2,32 +2,72 @@ package exp
 
 import (
 	"context"
-	"fmt"
-	"strings"
 	"sync"
+	"time"
 
 	"itlbcfr/internal/sim"
-	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/store"
 )
 
+// Backing is a durable second tier behind the Runner's in-memory memo,
+// keyed by store.Key's canonical encoding. *store.Store implements it. A
+// Backing must be safe for concurrent use. Put errors are counted by the
+// Runner and otherwise dropped: a broken cache degrades to recompute, it
+// never fails a simulation.
+type Backing interface {
+	Get(key string) (sim.Result, bool)
+	Put(key string, res sim.Result) error
+}
+
 // Runner memoizes simulations so tables sharing configurations (most of
-// them) do not re-simulate. It is safe for concurrent use: concurrent Get
-// calls with equal options coalesce onto a single in-flight simulation, and
-// Prefetch warms the memo in parallel through sim.Batch. The zero value is
-// ready to use and runs at the package defaults in internal/sim.
+// them) do not re-simulate. It is safe for concurrent use: concurrent
+// lookups with equal options coalesce onto a single in-flight simulation,
+// and Prefetch warms the memo in parallel through sim.Batch. Configurations
+// are keyed by store.Key — the same canonical encoding the disk store and
+// the HTTP API use — so attaching a Backing makes results durable across
+// processes for free. The zero value is ready to use and runs at the
+// package defaults in internal/sim.
 type Runner struct {
 	// Instructions and Warmup apply to every simulation (zero = package
 	// defaults in internal/sim).
 	Instructions uint64
 	Warmup       uint64
 
-	// Workers bounds Prefetch's parallelism (0 = runtime.NumCPU(),
-	// 1 = serial).
+	// Workers bounds Prefetch's and Batch's parallelism (0 =
+	// runtime.NumCPU(), 1 = serial).
 	Workers int
 
-	mu    sync.Mutex
-	cache map[string]*memoEntry
-	runs  int
+	// Backing, when non-nil, is consulted on memo misses and populated
+	// after every successful simulation.
+	Backing Backing
+
+	mu          sync.Mutex
+	cache       map[string]*memoEntry
+	runs        int
+	memoHits    int
+	backingHits int
+	putErrors   int
+	inFlight    int
+	simWall     time.Duration
+}
+
+// Stats is a snapshot of the Runner's counters.
+type Stats struct {
+	// Runs counts simulations executed by this process (backing hits are
+	// not runs).
+	Runs int `json:"runs"`
+	// MemoHits counts lookups served by the in-memory memo, including
+	// coalesced waits on in-flight simulations.
+	MemoHits int `json:"memo_hits"`
+	// BackingHits counts memo misses satisfied by the backing store.
+	BackingHits int `json:"backing_hits"`
+	// PutErrors counts failed backing writes (dropped, not fatal).
+	PutErrors int `json:"put_errors"`
+	// InFlight counts claimed configurations not yet settled.
+	InFlight int `json:"in_flight"`
+	// SimWall is cumulative wall-clock time spent executing simulations
+	// (batch phases count pool wall-time once, not per worker).
+	SimWall time.Duration `json:"sim_wall_ns"`
 }
 
 // memoEntry is one memo slot. done is closed once res and err are valid;
@@ -43,10 +83,10 @@ func NewRunner(instructions, warmup uint64) *Runner {
 	return &Runner{Instructions: instructions, Warmup: warmup}
 }
 
-// normalize applies the Runner's simulation length and canonicalizes
-// defaulted fields (empty iTLB, zero page size, nil pipeline) to their
-// explicit values, so that options that differ only in how they spell the
-// default share a memo slot instead of re-simulating.
+// normalize applies the Runner's simulation length and canonicalizes every
+// defaulted field to its explicit value (store.Canonical), so that options
+// that differ only in how they spell the default share a memo slot — and a
+// disk entry — instead of re-simulating.
 func (r *Runner) normalize(opt sim.Options) sim.Options {
 	if opt.Instructions == 0 {
 		opt.Instructions = r.Instructions
@@ -54,52 +94,42 @@ func (r *Runner) normalize(opt sim.Options) sim.Options {
 	if opt.Warmup == 0 {
 		opt.Warmup = r.Warmup
 	}
-	if len(opt.ITLB.Levels) == 0 {
-		opt.ITLB = sim.DefaultITLB()
-	}
-	if opt.PageBytes == 0 {
-		opt.PageBytes = 4096
-	}
-	if opt.Pipeline == nil {
-		pcfg := sim.DefaultPipeline()
-		opt.Pipeline = &pcfg
-	}
-	return opt
+	return store.Canonical(opt)
 }
 
-func itlbKey(c tlb.Config) string {
-	if len(c.Levels) == 0 {
-		return "default"
-	}
-	parts := make([]string, 0, len(c.Levels))
-	for _, l := range c.Levels {
-		parts = append(parts, fmt.Sprintf("%dx%d", l.Entries, l.Assoc))
-	}
-	k := strings.Join(parts, "+")
-	if c.Parallel {
-		k += "p"
-	}
-	return k
+// Key returns the canonical store key opt resolves to under this Runner —
+// after the Runner's instruction/warm-up defaults are applied — i.e. the
+// key its result is memoized and filed on disk under.
+func (r *Runner) Key(opt sim.Options) string {
+	return store.Key(r.normalize(opt))
 }
 
-// cacheKey identifies one simulation configuration.
-func cacheKey(opt sim.Options) string {
-	pipeKey := ""
-	if opt.Pipeline != nil {
-		pipeKey = fmt.Sprintf("%+v", *opt.Pipeline)
+// Cached returns the settled memoized result for opt, without claiming,
+// blocking or computing. In-flight entries report false.
+func (r *Runner) Cached(opt sim.Options) (sim.Result, bool) {
+	key := store.Key(r.normalize(opt))
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	r.mu.Unlock()
+	if !ok {
+		return sim.Result{}, false
 	}
-	techKey := ""
-	if opt.Tech != nil {
-		techKey = fmt.Sprintf("%+v", *opt.Tech)
+	select {
+	case <-e.done:
+		if e.err == nil {
+			r.mu.Lock()
+			r.memoHits++
+			r.mu.Unlock()
+			return e.res, true
+		}
+	default:
 	}
-	return fmt.Sprintf("%s|%v|%v|%s|%d|%d|%d|%s|%s",
-		opt.Profile.Name, opt.Scheme, opt.Style, itlbKey(opt.ITLB),
-		opt.PageBytes, opt.Instructions, opt.Warmup, pipeKey, techKey)
+	return sim.Result{}, false
 }
 
 // claim returns the memo entry for key, reporting whether the caller now
-// owns it (owner == true means the caller must run the simulation and
-// settle the entry).
+// owns it (owner == true means the caller must settle the entry, from the
+// backing store or by simulating).
 func (r *Runner) claim(key string) (e *memoEntry, owner bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -107,20 +137,24 @@ func (r *Runner) claim(key string) (e *memoEntry, owner bool) {
 		r.cache = make(map[string]*memoEntry)
 	}
 	if e, ok := r.cache[key]; ok {
+		r.memoHits++
 		return e, false
 	}
 	e = &memoEntry{done: make(chan struct{})}
 	r.cache[key] = e
+	r.inFlight++
 	return e, true
 }
 
-// settle publishes a finished simulation: successes count toward Runs,
-// failures are removed from the memo so a later call can retry.
-func (r *Runner) settle(key string, e *memoEntry, res sim.Result, err error) {
+// settle publishes a finished lookup: simulations that ran successfully
+// count toward Runs, failures are removed from the memo so a later call can
+// retry. ran distinguishes an executed simulation from a backing-store hit.
+func (r *Runner) settle(key string, e *memoEntry, res sim.Result, err error, ran bool) {
 	r.mu.Lock()
+	r.inFlight--
 	if err != nil {
 		delete(r.cache, key)
-	} else {
+	} else if ran {
 		r.runs++
 	}
 	r.mu.Unlock()
@@ -128,37 +162,98 @@ func (r *Runner) settle(key string, e *memoEntry, res sim.Result, err error) {
 	close(e.done)
 }
 
-// Get returns the memoized result for the options, simulating on first use.
-// Concurrent calls with equal options share one simulation. Get panics if
-// the simulation itself fails (the generators only use known-good options);
-// use Prefetch for error-returning bulk execution.
-func (r *Runner) Get(opt sim.Options) sim.Result {
-	opt = r.normalize(opt)
-	key := cacheKey(opt)
-	for {
-		e, owner := r.claim(key)
-		if owner {
-			res, err := sim.Run(opt)
-			r.settle(key, e, res, err)
-			if err != nil {
-				panic(err)
-			}
-			return res
-		}
-		<-e.done
-		if e.err == nil {
-			return e.res
-		}
-		// The owning call failed or was canceled before running; its
-		// entry has been removed, so retry (likely becoming the owner).
+// fromBacking consults the backing store for a claimed key.
+func (r *Runner) fromBacking(key string) (sim.Result, bool) {
+	if r.Backing == nil {
+		return sim.Result{}, false
+	}
+	res, ok := r.Backing.Get(key)
+	if ok {
+		r.mu.Lock()
+		r.backingHits++
+		r.mu.Unlock()
+	}
+	return res, ok
+}
+
+// toBacking records a freshly computed result; errors are counted and
+// dropped (an unwritable cache costs reuse, never correctness).
+func (r *Runner) toBacking(key string, res sim.Result) {
+	if r.Backing == nil {
+		return
+	}
+	if err := r.Backing.Put(key, res); err != nil {
+		r.mu.Lock()
+		r.putErrors++
+		r.mu.Unlock()
 	}
 }
 
-// Prefetch warms the memo for every option, executing the misses in
-// parallel through sim.Batch bounded by r.Workers. Options already cached
-// or in flight are skipped (their owner finishes them). It returns the
-// first simulation or context error; on cancellation the unfinished
-// entries are released so later Gets re-run them.
+func (r *Runner) addWall(d time.Duration) {
+	r.mu.Lock()
+	r.simWall += d
+	r.mu.Unlock()
+}
+
+// Result returns the memoized result for the options, consulting the
+// backing store and simulating on first use. Concurrent calls with equal
+// options share one simulation. A canceled ctx abandons the wait (an owner
+// already simulating runs to completion and still settles the memo for
+// others); the owner itself checks ctx only before starting.
+func (r *Runner) Result(ctx context.Context, opt sim.Options) (sim.Result, error) {
+	opt = r.normalize(opt)
+	key := store.Key(opt)
+	for {
+		e, owner := r.claim(key)
+		if !owner {
+			select {
+			case <-e.done:
+				if e.err == nil {
+					return e.res, nil
+				}
+				// The owning call failed or was canceled before running;
+				// its entry has been removed, so retry (likely becoming
+				// the owner).
+				continue
+			case <-ctx.Done():
+				return sim.Result{}, ctx.Err()
+			}
+		}
+		if res, ok := r.fromBacking(key); ok {
+			r.settle(key, e, res, nil, false)
+			return res, nil
+		}
+		if err := ctx.Err(); err != nil {
+			r.settle(key, e, sim.Result{}, err, false)
+			return sim.Result{}, err
+		}
+		t0 := time.Now()
+		res, err := sim.Run(opt)
+		r.addWall(time.Since(t0))
+		r.settle(key, e, res, err, err == nil)
+		if err == nil {
+			r.toBacking(key, res)
+		}
+		return res, err
+	}
+}
+
+// Get is Result without a context, for the table generators (which only use
+// known-good options): it panics if the simulation itself fails.
+func (r *Runner) Get(opt sim.Options) sim.Result {
+	res, err := r.Result(context.Background(), opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Prefetch warms the memo for every option, serving what it can from the
+// backing store and executing the rest in parallel through sim.Batch
+// bounded by r.Workers. Options already cached or in flight are skipped
+// (their owner finishes them). It returns the first simulation or context
+// error; on cancellation the unfinished entries are released so later
+// lookups re-run them.
 func (r *Runner) Prefetch(ctx context.Context, opts []sim.Options) error {
 	var (
 		jobs    []sim.Options
@@ -168,13 +263,17 @@ func (r *Runner) Prefetch(ctx context.Context, opts []sim.Options) error {
 	seen := make(map[string]bool, len(opts))
 	for _, o := range opts {
 		o = r.normalize(o)
-		k := cacheKey(o)
+		k := store.Key(o)
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
 		e, owner := r.claim(k)
 		if !owner {
+			continue
+		}
+		if res, ok := r.fromBacking(k); ok {
+			r.settle(k, e, res, nil, false)
 			continue
 		}
 		jobs = append(jobs, o)
@@ -185,16 +284,77 @@ func (r *Runner) Prefetch(ctx context.Context, opts []sim.Options) error {
 		return ctx.Err()
 	}
 	var firstErr error
+	t0 := time.Now()
 	sim.Batch(ctx, jobs, sim.BatchOptions{
 		Workers: r.Workers,
 		OnComplete: func(i int, res sim.Result, err error) {
-			r.settle(keys[i], entries[i], res, err)
-			if err != nil && firstErr == nil {
+			r.settle(keys[i], entries[i], res, err, err == nil)
+			if err == nil {
+				r.toBacking(keys[i], res)
+			} else if firstErr == nil {
 				firstErr = err
 			}
 		},
 	})
+	r.addWall(time.Since(t0))
 	return firstErr
+}
+
+// Batch runs every option through the memo and backing store, executing the
+// misses over a bounded worker pool, and returns results and errors aligned
+// with opts (errs[i] == nil means results[i] is valid). Unlike sim.Batch it
+// coalesces duplicate configurations — within the batch and against
+// anything already cached or in flight. On cancellation, jobs that never
+// ran report ctx's error.
+func (r *Runner) Batch(ctx context.Context, opts []sim.Options) ([]sim.Result, []error) {
+	results := make([]sim.Result, len(opts))
+	errs := make([]error, len(opts))
+	entries := make([]*memoEntry, len(opts))
+
+	var (
+		jobs       []sim.Options
+		jobKeys    []string
+		jobEntries []*memoEntry
+	)
+	for i, o := range opts {
+		o = r.normalize(o)
+		k := store.Key(o)
+		e, owner := r.claim(k)
+		entries[i] = e
+		if !owner {
+			continue
+		}
+		if res, ok := r.fromBacking(k); ok {
+			r.settle(k, e, res, nil, false)
+			continue
+		}
+		jobs = append(jobs, o)
+		jobKeys = append(jobKeys, k)
+		jobEntries = append(jobEntries, e)
+	}
+	if len(jobs) > 0 {
+		t0 := time.Now()
+		sim.Batch(ctx, jobs, sim.BatchOptions{
+			Workers: r.Workers,
+			OnComplete: func(j int, res sim.Result, err error) {
+				r.settle(jobKeys[j], jobEntries[j], res, err, err == nil)
+				if err == nil {
+					r.toBacking(jobKeys[j], res)
+				}
+			},
+		})
+		r.addWall(time.Since(t0))
+	}
+	for i, e := range entries {
+		select {
+		case <-e.done:
+			results[i], errs[i] = e.res, e.err
+		case <-ctx.Done():
+			// Owned by a concurrent caller that has not settled yet.
+			errs[i] = ctx.Err()
+		}
+	}
+	return results, errs
 }
 
 // Runs reports how many distinct simulations have executed successfully.
@@ -202,4 +362,18 @@ func (r *Runner) Runs() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.runs
+}
+
+// Stats returns a snapshot of the Runner's counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Runs:        r.runs,
+		MemoHits:    r.memoHits,
+		BackingHits: r.backingHits,
+		PutErrors:   r.putErrors,
+		InFlight:    r.inFlight,
+		SimWall:     r.simWall,
+	}
 }

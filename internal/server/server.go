@@ -1,0 +1,373 @@
+// Package server exposes the simulation engine as a long-lived HTTP JSON
+// service — the paper's "pay the translation once, reuse it many times"
+// economics applied to whole simulations. A single shared exp.Runner fronts
+// every request, so duplicate in-flight configurations coalesce onto one
+// simulation, results persist across requests (and across restarts when a
+// disk store backs the Runner), and table regeneration shares cells with
+// individual /v1/sim queries.
+//
+// Endpoints:
+//
+//	GET  /healthz           liveness + uptime
+//	GET  /v1/specs          every table/figure spec (id, title, cell count)
+//	GET  /v1/tables/{id}    one regenerated table (?format=text|json|csv)
+//	POST /v1/sim            one simulation configuration -> full result
+//	GET  /v1/stats          runner/store/server counters
+//
+// Simulations are CPU-bound and non-interruptible once started, so the
+// server bounds how many run concurrently (Config.MaxConcurrent) and
+// applies a per-request deadline (Config.RequestTimeout): a request that
+// cannot start in time gets 503, one that cannot finish in time gets 504,
+// and a coalesced waiter abandoning its wait does not abort the owner's
+// simulation — the result still lands in the memo for the next caller.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/exp"
+	"itlbcfr/internal/sim"
+	"itlbcfr/internal/store"
+	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/workload"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Runner executes and memoizes simulations. Required.
+	Runner *exp.Runner
+
+	// Store, when non-nil, is reported under /v1/stats. (Attach it to the
+	// Runner as Backing to actually serve from it; the server never reads
+	// it directly.)
+	Store *store.Store
+
+	// MaxConcurrent bounds how many requests may simulate at once
+	// (0 = 2 x NumCPU). Waiting for a slot counts against the request's
+	// deadline.
+	MaxConcurrent int
+
+	// RequestTimeout is the per-request deadline (0 = none).
+	RequestTimeout time.Duration
+
+	// ShutdownGrace bounds how long Serve waits for in-flight requests
+	// after its context is canceled (0 = 5s).
+	ShutdownGrace time.Duration
+}
+
+// Server is the HTTP front end. Create with New.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	requests atomic.Int64
+	inFlight atomic.Int64
+}
+
+// New builds a Server around a shared Runner.
+func New(cfg Config) *Server {
+	if cfg.Runner == nil {
+		panic("server: Config.Runner is required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * runtime.NumCPU()
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 5 * time.Second
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/specs", s.handleSpecs)
+	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTable)
+	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the server's HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP implements http.Handler with request counting.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Serve accepts connections on l until ctx is canceled, then shuts down
+// gracefully: the listener closes, in-flight requests get ShutdownGrace to
+// finish (their contexts are canceled so coalesced waiters return
+// promptly), and stragglers are force-closed. Returns nil on a clean
+// shutdown.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{
+		Handler: s,
+		// Derive request contexts from ctx so cancellation reaches every
+		// in-flight handler, not just the accept loop.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			hs.Close()
+			return err
+		}
+		return nil
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l)
+}
+
+// requestContext applies the per-request timeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// acquire takes a simulation slot, or reports false with a 503 (queue full)
+// or 504 (deadline passed while queued) already written.
+func (s *Server) acquire(ctx context.Context, w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		writeError(w, statusFor(ctx.Err()), fmt.Errorf("no simulation slot: %w", ctx.Err()))
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// statusFor maps a compute error to an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // headers are out; nothing useful to do with an error here
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  time.Since(s.start).Seconds(),
+		"in_flight": s.inFlight.Load(),
+	})
+}
+
+// specInfo describes one regenerable table/figure.
+type specInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Cells int    `json:"cells"`
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	specs := exp.Specs()
+	out := make([]specInfo, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, specInfo{ID: sp.ID, Title: sp.Title, Cells: len(sp.Cells())})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spec, err := exp.SpecByID(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	format, err := exp.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if !s.acquire(ctx, w) {
+		return
+	}
+	defer s.release()
+	tb, err := spec.Generate(ctx, s.cfg.Runner)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	switch format {
+	case exp.FormatJSON:
+		writeJSON(w, http.StatusOK, tb)
+	case exp.FormatCSV:
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		exp.WriteTables(w, exp.FormatCSV, []exp.Table{tb})
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tb.Render())
+	}
+}
+
+// SimRequest selects one simulation. Zero/empty fields take the paper's
+// defaults, exactly as the CLIs and the store's canonical encoding do.
+type SimRequest struct {
+	Bench        string `json:"bench"`
+	Scheme       string `json:"scheme,omitempty"`       // Base, OPT, HoA, SoCA, SoLA, IA
+	Style        string `json:"style,omitempty"`        // VI-VT, VI-PT, PI-PT
+	ITLB         string `json:"itlb,omitempty"`         // "32", "16x2", "1+32"
+	PageBytes    uint64 `json:"page_bytes,omitempty"`   // 0 = 4096
+	Instructions uint64 `json:"instructions,omitempty"` // 0 = server default
+	Warmup       uint64 `json:"warmup,omitempty"`       // 0 = server default
+}
+
+// Options parses and validates the request into simulation options.
+func (q SimRequest) Options() (sim.Options, error) {
+	if strings.TrimSpace(q.Bench) == "" {
+		return sim.Options{}, fmt.Errorf("bench is required (one of %v)", workload.Names())
+	}
+	p, err := workload.ByName(strings.TrimSpace(q.Bench))
+	if err != nil {
+		return sim.Options{}, err
+	}
+	opt := sim.Options{Profile: p, PageBytes: q.PageBytes,
+		Instructions: q.Instructions, Warmup: q.Warmup}
+	if q.Scheme != "" {
+		if opt.Scheme, err = core.ParseScheme(q.Scheme); err != nil {
+			return sim.Options{}, err
+		}
+	}
+	opt.Style = cache.VIPT
+	if q.Style != "" {
+		if opt.Style, err = cache.ParseStyle(q.Style); err != nil {
+			return sim.Options{}, err
+		}
+	}
+	if q.ITLB != "" {
+		if opt.ITLB, err = tlb.ParseSpec(q.ITLB); err != nil {
+			return sim.Options{}, err
+		}
+	}
+	if err := opt.Validate(); err != nil {
+		return sim.Options{}, err
+	}
+	return opt, nil
+}
+
+// SimResponse is /v1/sim's reply: the canonical configuration key (the same
+// content address the disk store files the result under) and the full
+// result.
+type SimResponse struct {
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	opt, err := req.Options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The key reflects the options as the Runner normalizes them (its
+	// -n/-warmup defaults applied) — the key the result is memoized and
+	// filed on disk under, not a re-derivation from the raw request.
+	key := s.cfg.Runner.Key(opt)
+	// Serve settled results without consuming a simulation slot, so a warm
+	// daemon answers cached configurations instantly even while every slot
+	// is busy with cold work.
+	if res, ok := s.cfg.Runner.Cached(opt); ok {
+		writeJSON(w, http.StatusOK, SimResponse{Key: key, Result: res})
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if !s.acquire(ctx, w) {
+		return
+	}
+	defer s.release()
+	res, err := s.cfg.Runner.Result(ctx, opt)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimResponse{Key: key, Result: res})
+}
+
+// statsResponse aggregates every counter the service keeps.
+type statsResponse struct {
+	UptimeSeconds float64      `json:"uptime_s"`
+	Requests      int64        `json:"requests"`
+	InFlight      int64        `json:"in_flight"`
+	SimWallSecs   float64      `json:"sim_wall_s"`
+	Runner        exp.Stats    `json:"runner"`
+	Store         *store.Stats `json:"store,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	rs := s.cfg.Runner.Stats()
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		InFlight:      s.inFlight.Load(),
+		SimWallSecs:   rs.SimWall.Seconds(),
+		Runner:        rs,
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/workload"
+)
+
+// TestResultJSONRoundTrip is the contract the disk store and the HTTP API
+// rest on: encode → decode must reproduce the Result exactly, with no
+// embedded field silently dropped.
+func TestResultJSONRoundTrip(t *testing.T) {
+	res, err := Run(Options{
+		Profile: workload.Mesa(), Scheme: core.IA, Style: cache.VIVT,
+		Instructions: 20_000, Warmup: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 || res.Engine.Lookups == 0 || res.ITLB.Walks == 0 {
+		t.Fatalf("test simulation too trivial to exercise the encoding: %+v", res)
+	}
+
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Errorf("round trip lost information:\n got %+v\nwant %+v", back, res)
+	}
+
+	// The embedded pipeline.Result must inline: its fields appear at the
+	// top level, not nested under a "Result" object.
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, nested := m["Result"]; nested {
+		t.Error("embedded pipeline.Result marshaled as a nested object")
+	}
+	for _, want := range []string{"Committed", "Cycles", "EnergyMJ", "bench", "scheme", "style"} {
+		if _, ok := m[want]; !ok {
+			t.Errorf("JSON missing field %q", want)
+		}
+	}
+
+	// Scheme and style travel as names, not ordinals.
+	s := string(b)
+	if !strings.Contains(s, `"scheme":"IA"`) || !strings.Contains(s, `"style":"VI-VT"`) {
+		t.Errorf("scheme/style not encoded by name: %s", s[:min(len(s), 400)])
+	}
+}
+
+// TestSchemeStyleTextRoundTrip pins the name encodings themselves.
+func TestSchemeStyleTextRoundTrip(t *testing.T) {
+	for _, sch := range core.Schemes() {
+		b, err := sch.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back core.Scheme
+		if err := back.UnmarshalText(b); err != nil || back != sch {
+			t.Errorf("scheme %v round-tripped to %v (%v)", sch, back, err)
+		}
+	}
+	for _, st := range []cache.Style{cache.VIVT, cache.VIPT, cache.PIPT} {
+		b, err := st.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back cache.Style
+		if err := back.UnmarshalText(b); err != nil || back != st {
+			t.Errorf("style %v round-tripped to %v (%v)", st, back, err)
+		}
+	}
+	var sch core.Scheme
+	if err := sch.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("unknown scheme name must not decode")
+	}
+	var st cache.Style
+	if err := st.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("unknown style name must not decode")
+	}
+}

@@ -73,16 +73,59 @@ type Options struct {
 	Tech *energy.Tech
 }
 
-// Result bundles the pipeline outcome with identification.
+// Result bundles the pipeline outcome with identification. It round-trips
+// losslessly through JSON (the disk-backed result store and the HTTP API
+// both depend on that): every field is exported, the embedded pipeline
+// fields inline under their own names, and Scheme/Style marshal as names
+// rather than ordinals.
 type Result struct {
 	pipeline.Result
-	Bench  string
-	Scheme core.Scheme
-	Style  cache.Style
+	Bench  string      `json:"bench"`
+	Scheme core.Scheme `json:"scheme"`
+	Style  cache.Style `json:"style"`
+}
+
+// Validate checks the options without running anything: page geometry,
+// workload profile, scheme/style, the iTLB configuration (defaulted when
+// empty) and any pipeline override. Run performs exactly these checks; the
+// result store and the HTTP API validate through the same path so a
+// configuration is rejected identically everywhere.
+func (o Options) Validate() error {
+	if o.PageBytes != 0 {
+		if _, err := addr.NewGeometry(o.PageBytes); err != nil {
+			return err
+		}
+	}
+	if err := o.Profile.Validate(); err != nil {
+		return err
+	}
+	if !o.Scheme.Known() {
+		return fmt.Errorf("sim: unknown scheme %d", int(o.Scheme))
+	}
+	if !o.Style.Known() {
+		return fmt.Errorf("sim: unknown style %d", int(o.Style))
+	}
+	itlbCfg := o.ITLB
+	if len(itlbCfg.Levels) == 0 {
+		itlbCfg = DefaultITLB()
+	}
+	if err := itlbCfg.Validate(); err != nil {
+		return fmt.Errorf("sim: iTLB config: %w", err)
+	}
+	if o.Pipeline != nil {
+		if err := o.Pipeline.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run builds and executes one simulation.
 func Run(opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+
 	n := opt.Instructions
 	if n == 0 {
 		n = DefaultInstructions
@@ -116,9 +159,6 @@ func Run(opt Options) (Result, error) {
 	itlbCfg := opt.ITLB
 	if len(itlbCfg.Levels) == 0 {
 		itlbCfg = DefaultITLB()
-	}
-	if err := itlbCfg.Validate(); err != nil {
-		return Result{}, fmt.Errorf("sim: iTLB config: %w", err)
 	}
 	tech := energy.DefaultTech
 	if opt.Tech != nil {

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"itlbcfr/internal/energy"
+	"itlbcfr/internal/pipeline"
+	"itlbcfr/internal/sim"
+	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/workload"
+)
+
+// SchemaVersion stamps both the cache key and every entry file. Bump it
+// whenever the key encoding or the stored Result layout changes meaning:
+// old entries then become unreachable (different key prefix) and unreadable
+// entries are rejected by the version check, never misread.
+const SchemaVersion = 1
+
+// Canonical fills every defaulted field of opt with its explicit value, so
+// that two spellings of the same simulation — zero vs. 4096-byte pages, an
+// empty vs. the explicit Table 1 iTLB, a nil vs. the explicit default
+// pipeline or technology point — share one key. This is the single
+// canonicalization the in-memory memo, the disk store and the HTTP API all
+// agree on. The input is not mutated (the pipeline override is copied).
+func Canonical(opt sim.Options) sim.Options {
+	if opt.Instructions == 0 {
+		opt.Instructions = sim.DefaultInstructions
+	}
+	if opt.Warmup == 0 {
+		opt.Warmup = sim.DefaultWarmup
+	}
+	if len(opt.ITLB.Levels) == 0 {
+		opt.ITLB = sim.DefaultITLB()
+	}
+	if opt.PageBytes == 0 {
+		opt.PageBytes = 4096
+	}
+	pcfg := sim.DefaultPipeline()
+	if opt.Pipeline != nil {
+		pcfg = *opt.Pipeline
+	}
+	// sim.Run overwrites the pipeline's iL1 style with opt.Style, so two
+	// configs differing only there are the same simulation.
+	pcfg.IL1Style = opt.Style
+	opt.Pipeline = &pcfg
+	if opt.Tech == nil {
+		t := energy.DefaultTech
+		opt.Tech = &t
+	}
+	return opt
+}
+
+// keyConfig is the canonical encoding of a full simulation configuration.
+// Every field that sim.Run reads appears here explicitly; encoding/json
+// serializes struct fields in declaration order, so the byte stream — and
+// therefore the hash — is deterministic.
+type keyConfig struct {
+	Schema       int
+	Profile      workload.Profile
+	Scheme       string
+	Style        string
+	ITLB         tlb.Config
+	PageBytes    uint64
+	Instructions uint64
+	Warmup       uint64
+	Pipeline     pipeline.Config
+	Tech         energy.Tech
+}
+
+// Key returns the content address of a simulation configuration: a
+// schema-versioned SHA-256 over the canonical encoding. Equal configurations
+// (after Canonical) map to equal keys; the key is filesystem- and URL-safe.
+func Key(opt sim.Options) string {
+	opt = Canonical(opt)
+	b, err := json.Marshal(keyConfig{
+		Schema:       SchemaVersion,
+		Profile:      opt.Profile,
+		Scheme:       opt.Scheme.String(),
+		Style:        opt.Style.String(),
+		ITLB:         opt.ITLB,
+		PageBytes:    opt.PageBytes,
+		Instructions: opt.Instructions,
+		Warmup:       opt.Warmup,
+		Pipeline:     *opt.Pipeline,
+		Tech:         *opt.Tech,
+	})
+	if err != nil {
+		// keyConfig is a closed struct of plain data; Marshal cannot fail
+		// on it short of a programming error.
+		panic(fmt.Sprintf("store: key encoding: %v", err))
+	}
+	return fmt.Sprintf("s%d-%x", SchemaVersion, sha256.Sum256(b))
+}

@@ -11,6 +11,8 @@ package tlb
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"itlbcfr/internal/energy"
 )
@@ -73,6 +75,37 @@ func TwoLevel(l1Entries, l1Assoc, l2Entries, l2Assoc int, parallel bool) Config 
 		Level2Latency: 1,
 		MissPenalty:   50,
 	}
+}
+
+// ParseSpec parses the compact TLB geometry syntax the CLIs and the HTTP
+// API share: "32" (fully associative), "16x2" (entries x associativity) and
+// "1+32" (two-level serial, both levels fully associative). Callers decide
+// what an empty spec means (usually the paper's default iTLB).
+func ParseSpec(s string) (Config, error) {
+	if strings.TrimSpace(s) == "" {
+		return Config{}, fmt.Errorf("tlb: empty spec")
+	}
+	if lv := strings.Split(s, "+"); len(lv) == 2 {
+		l1, err1 := strconv.Atoi(lv[0])
+		l2, err2 := strconv.Atoi(lv[1])
+		if err1 != nil || err2 != nil {
+			return Config{}, fmt.Errorf("tlb: bad two-level spec %q", s)
+		}
+		return TwoLevel(l1, l1, l2, l2, false), nil
+	}
+	if xa := strings.Split(s, "x"); len(xa) == 2 {
+		e, err1 := strconv.Atoi(xa[0])
+		a, err2 := strconv.Atoi(xa[1])
+		if err1 != nil || err2 != nil {
+			return Config{}, fmt.Errorf("tlb: bad geometry spec %q", s)
+		}
+		return Mono(e, a), nil
+	}
+	e, err := strconv.Atoi(s)
+	if err != nil {
+		return Config{}, fmt.Errorf("tlb: bad spec %q", s)
+	}
+	return Mono(e, e), nil
 }
 
 // Validate checks the whole configuration.
