@@ -9,11 +9,20 @@
 //	itlbd -parallel 4 -req-timeout 2m       # bound load per request
 //
 // Endpoints (see internal/server): GET /healthz, GET /v1/specs,
-// GET /v1/tables/{id}?format=text|json|csv, POST /v1/sim, GET /v1/stats.
+// GET /v1/tables/{id}?format=text|json|csv, POST /v1/sim, POST /v1/batch,
+// GET /v1/stats.
 //
 //	curl -s localhost:8080/v1/tables/6
 //	curl -s -X POST localhost:8080/v1/sim \
 //	  -d '{"bench":"vortex","scheme":"IA","style":"VI-PT","itlb":"16x2"}'
+//	curl -sN -X POST localhost:8080/v1/batch \
+//	  -d '{"sweep":{"benches":["all"],"schemes":["Base","IA"]}}'
+//
+// /v1/batch accepts an explicit configuration list ("sims") and/or a
+// declarative sweep (the cross product of benches/schemes/styles/itlbs/
+// page_bytes) and streams one NDJSON record per simulation in completion
+// order, each carrying the canonical store key. Go programs should use
+// internal/client; cmd/itlbload drives a daemon with a bulk-traffic mix.
 //
 // SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
 // requests get -grace to finish, then the process exits.

@@ -1,0 +1,355 @@
+// Command itlbload drives a running itlbd daemon the way bulk traffic
+// would: a configurable mix of single simulations (POST /v1/sim), streamed
+// batch sweeps (POST /v1/batch) and table regenerations (GET /v1/tables),
+// issued from concurrent workers for a fixed duration. It reports per-kind
+// throughput and latency quantiles, plus the server-side counter deltas
+// (/v1/stats before vs after) that show how much of the load was absorbed
+// by the memo and the disk store.
+//
+//	itlbload -addr 127.0.0.1:8080 -d 10s -c 8                 # default mix
+//	itlbload -mix sim=1 -benches all -schemes Base,IA          # singles only
+//	itlbload -mix batch=1 -n 60000 -warmup 10000               # sweeps only
+//	itlbload -mix sim=8,batch=1,table=1 -tables 2,4,5 -seed 7
+//
+// The request pool is the cross product of -benches/-schemes/-styles/-itlbs
+// (the same names the other CLIs accept); -n/-warmup set the simulation
+// length per request, so a load run against a shared daemon can use short
+// simulations without touching the daemon's own defaults. Two consecutive
+// runs measure cold vs warm serving: the second run's traffic is answered
+// from the memo/disk store and reports the cache-hit ratio to prove it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"itlbcfr/internal/client"
+	"itlbcfr/internal/cliutil"
+	"itlbcfr/internal/exp"
+	"itlbcfr/internal/server"
+)
+
+// opKind enumerates the request types the mix can weight.
+type opKind int
+
+const (
+	opSim opKind = iota
+	opBatch
+	opTable
+	numOps
+)
+
+var opNames = [numOps]string{"sim", "batch", "table"}
+
+// parseMix reads "sim=8,batch=1,table=1" into per-kind weights.
+func parseMix(s string) ([numOps]int, error) {
+	var w [numOps]int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return w, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("bad mix weight %q", part)
+		}
+		found := false
+		for k, kn := range opNames {
+			if strings.EqualFold(strings.TrimSpace(name), kn) {
+				w[k] = n
+				found = true
+			}
+		}
+		if !found {
+			return w, fmt.Errorf("unknown mix kind %q (sim, batch, table)", name)
+		}
+	}
+	total := 0
+	for _, n := range w {
+		total += n
+	}
+	if total == 0 {
+		return w, fmt.Errorf("mix %q selects nothing", s)
+	}
+	return w, nil
+}
+
+// pick draws a kind according to the weights.
+func pick(rng *rand.Rand, w [numOps]int) opKind {
+	total := 0
+	for _, n := range w {
+		total += n
+	}
+	r := rng.Intn(total)
+	for k, n := range w {
+		if r < n {
+			return opKind(k)
+		}
+		r -= n
+	}
+	return opSim
+}
+
+// sample is one completed operation.
+type sample struct {
+	kind     opKind
+	d        time.Duration
+	jobs     int // simulation configurations served (batch > 1)
+	failed   bool
+	canceled bool // cut short by the run deadline, excluded from stats
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d.Microseconds())/1e3) }
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "itlbd address (host:port or full URL)")
+	conc := flag.Int("c", 4, "concurrent workers")
+	dur := flag.Duration("d", 10*time.Second, "run duration")
+	mixSpec := flag.String("mix", "sim=8,batch=1,table=1", "operation weights (sim=N,batch=N,table=N)")
+	benches := flag.String("benches", "all", "benchmark list for the request pool")
+	schemes := flag.String("schemes", "Base,IA", "scheme list for the request pool")
+	styles := flag.String("styles", "VI-PT", "style list for the request pool")
+	itlbs := flag.String("itlbs", "32", "iTLB spec list for the request pool")
+	n := flag.Uint64("n", 60_000, "committed instructions per requested simulation")
+	warm := flag.Uint64("warmup", 10_000, "warm-up instructions per requested simulation")
+	tables := flag.String("tables", "2,4,5", "table ids the table operation draws from")
+	seed := flag.Int64("seed", 1, "RNG seed for the operation/configuration choice")
+	reqTimeout := flag.Duration("req-timeout", 2*time.Minute, "per-operation deadline")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	flag.Parse()
+
+	w, closeOut, err := cliutil.OpenOutput(*out)
+	if err != nil {
+		cliutil.Fail(err)
+	}
+	defer closeOut()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		cliutil.Fail(err)
+	}
+	axes := exp.AxesSpec{
+		Benches: splitList(*benches),
+		Schemes: splitList(*schemes),
+		Styles:  splitList(*styles),
+		ITLBs:   splitList(*itlbs),
+	}
+	// Validate the pool up front so typos fail fast instead of as a stream
+	// of per-request 400s.
+	typed, err := axes.Axes()
+	if err != nil {
+		cliutil.Fail(err)
+	}
+	var pool []server.SimRequest
+	for _, opt := range typed.Enumerate() {
+		spec := "" // empty = the server's default iTLB
+		if len(opt.ITLB.Levels) != 0 {
+			var ok bool
+			if spec, ok = opt.ITLB.Spec(); !ok {
+				cliutil.Fail(fmt.Errorf("iTLB %+v not expressible as a spec", opt.ITLB))
+			}
+		}
+		pool = append(pool, server.SimRequest{
+			Bench:        opt.Profile.Name,
+			Scheme:       opt.Scheme.String(),
+			Style:        opt.Style.String(),
+			ITLB:         spec,
+			Instructions: *n,
+			Warmup:       *warm,
+		})
+	}
+	sweep := server.BatchRequest{Sweep: &server.SweepRequest{
+		AxesSpec: axes, Instructions: *n, Warmup: *warm,
+	}}
+	tableIDs := splitList(*tables)
+	if len(tableIDs) == 0 && mix[opTable] > 0 {
+		cliutil.Fail(fmt.Errorf("table operations in the mix but -tables is empty"))
+	}
+
+	c := client.New(*addr)
+	c.Retries = -1 // a load generator must measure failures, not paper over them
+
+	// The run context ends the workers; individual operations get their own
+	// deadline so one stuck request cannot hang the report.
+	ctx, stop := cliutil.SignalContext(*dur)
+	defer stop()
+
+	// Bounded control-plane calls: a wedged daemon must not hang the tool
+	// past its -d budget, and a daemon that dies mid-run must not cost the
+	// client-side report (see below).
+	stats := func() (server.StatsResponse, error) {
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		return c.Stats(sctx)
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	_, err = c.Healthz(hctx)
+	hcancel()
+	if err != nil {
+		cliutil.Fail(fmt.Errorf("daemon not reachable at %s: %w", *addr, err))
+	}
+	before, err := stats()
+	if err != nil {
+		cliutil.Fail(err)
+	}
+
+	perWorker := make([][]sample, *conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			for ctx.Err() == nil {
+				kind := pick(rng, mix)
+				opCtx, cancel := context.WithTimeout(ctx, *reqTimeout)
+				t0 := time.Now()
+				jobs, err := runOp(opCtx, c, kind, rng, pool, sweep, tableIDs)
+				cancel()
+				s := sample{kind: kind, d: time.Since(t0), jobs: jobs}
+				if err != nil {
+					if ctx.Err() != nil {
+						s.canceled = true // the run ended mid-operation
+					} else {
+						s.failed = true
+						fmt.Fprintf(os.Stderr, "itlbload: %s: %v\n", opNames[kind], err)
+					}
+				}
+				perWorker[i] = append(perWorker[i], s)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// The measured samples are the product of the run; losing the final
+	// stats snapshot (daemon died or wedged) degrades the report, it does
+	// not discard it.
+	var after *server.StatsResponse
+	if a, err := stats(); err == nil {
+		after = &a
+	} else {
+		fmt.Fprintf(os.Stderr, "itlbload: final stats unavailable: %v\n", err)
+	}
+
+	var all []sample
+	for _, s := range perWorker {
+		all = append(all, s...)
+	}
+	report(w, *addr, *conc, elapsed, all, before, after)
+}
+
+// runOp issues one operation, returning how many simulation configurations
+// it covered (for single-request-equivalent throughput).
+func runOp(ctx context.Context, c *client.Client, kind opKind, rng *rand.Rand,
+	pool []server.SimRequest, sweep server.BatchRequest, tableIDs []string) (int, error) {
+	switch kind {
+	case opBatch:
+		recs, err := c.BatchCollect(ctx, sweep)
+		for _, rec := range recs {
+			if err == nil && rec.Error != "" {
+				err = fmt.Errorf("job %d (%s/%s): %s", rec.Index, rec.Bench, rec.Scheme, rec.Error)
+			}
+		}
+		return len(recs), err
+	case opTable:
+		_, err := c.Table(ctx, tableIDs[rng.Intn(len(tableIDs))])
+		return 0, err
+	default:
+		_, err := c.Sim(ctx, pool[rng.Intn(len(pool))])
+		return 1, err
+	}
+}
+
+func report(w io.Writer, addr string, conc int, elapsed time.Duration, all []sample,
+	before server.StatsResponse, after *server.StatsResponse) {
+	fmt.Fprintf(w, "itlbload: %.1fs against %s (concurrency %d)\n\n", elapsed.Seconds(), addr, conc)
+	fmt.Fprintf(w, "%-7s %7s %5s %8s %8s %8s %8s %8s %8s\n",
+		"kind", "ops", "err", "ops/s", "sims/s", "p50ms", "p90ms", "p99ms", "maxms")
+
+	totalOps, totalJobs, totalErr := 0, 0, 0
+	for k := opKind(0); k < numOps; k++ {
+		var lats []time.Duration
+		ops, jobs, errs := 0, 0, 0
+		for _, s := range all {
+			if s.kind != k || s.canceled {
+				continue
+			}
+			ops++
+			jobs += s.jobs
+			if s.failed {
+				errs++
+			} else {
+				lats = append(lats, s.d)
+			}
+		}
+		if ops == 0 {
+			continue
+		}
+		totalOps += ops
+		totalJobs += jobs
+		totalErr += errs
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var maxLat time.Duration
+		if len(lats) > 0 {
+			maxLat = lats[len(lats)-1]
+		}
+		fmt.Fprintf(w, "%-7s %7d %5d %8.1f %8.1f %8s %8s %8s %8s\n",
+			opNames[k], ops, errs,
+			float64(ops)/elapsed.Seconds(), float64(jobs)/elapsed.Seconds(),
+			ms(quantile(lats, 0.50)), ms(quantile(lats, 0.90)),
+			ms(quantile(lats, 0.99)), ms(maxLat))
+	}
+	fmt.Fprintf(w, "%-7s %7d %5d %8.1f %8.1f\n\n", "total", totalOps, totalErr,
+		float64(totalOps)/elapsed.Seconds(), float64(totalJobs)/elapsed.Seconds())
+
+	if after == nil {
+		fmt.Fprintln(w, "server: counters unavailable (daemon gone before the final /v1/stats)")
+		return
+	}
+	dRuns := after.Runner.Runs - before.Runner.Runs
+	dMemo := after.Runner.MemoHits - before.Runner.MemoHits
+	dBack := after.Runner.BackingHits - before.Runner.BackingHits
+	served := dRuns + dMemo + dBack
+	hit := 0.0
+	if served > 0 {
+		hit = float64(dMemo+dBack) / float64(served)
+	}
+	fmt.Fprintf(w, "server: +%d requests, +%d batch jobs, +%d simulations run, +%d memo hits, +%d store hits (cache-hit %.1f%%)\n",
+		after.Requests-before.Requests, after.BatchJobs-before.BatchJobs,
+		dRuns, dMemo, dBack, 100*hit)
+	fmt.Fprintf(w, "server: %.2fs simulation wall-time spent during the run\n",
+		after.SimWallSecs-before.SimWallSecs)
+}

@@ -1,0 +1,36 @@
+package cache
+
+import "testing"
+
+// FuzzParseStyle: the parser never panics, and every accepted name
+// round-trips through String and through the text marshaling the JSON wire
+// formats rely on.
+func FuzzParseStyle(f *testing.F) {
+	for _, seed := range []string{
+		"VI-VT", "VI-PT", "PI-PT", "vivt", "vipt", "pipt", "Vi-Pt",
+		"VIPT", "--vipt--", "", "XX-XX", "VI_PT", " VI-PT", "style(1)", "\xff",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		st, err := ParseStyle(s)
+		if err != nil {
+			return
+		}
+		if !st.Known() {
+			t.Fatalf("ParseStyle(%q) = %d, accepted but unknown", s, int(st))
+		}
+		again, err := ParseStyle(st.String())
+		if err != nil || again != st {
+			t.Fatalf("round-trip drift: %q -> %v -> %q -> %v (%v)", s, st, st.String(), again, err)
+		}
+		txt, err := st.MarshalText()
+		if err != nil {
+			t.Fatalf("known style %v failed MarshalText: %v", st, err)
+		}
+		var um Style
+		if err := um.UnmarshalText(txt); err != nil || um != st {
+			t.Fatalf("text round-trip drift: %v -> %q -> %v (%v)", st, txt, um, err)
+		}
+	})
+}

@@ -1,0 +1,321 @@
+// Package client is the typed Go client for the itlbd HTTP API: every
+// endpoint internal/server exposes, with context plumbing on every call,
+// retry with exponential backoff for transient failures (transport errors
+// and 503s — simulations are pure functions of their configuration, so
+// re-issuing a request is always safe), and streaming iteration over
+// /v1/batch NDJSON responses. The wire types are the server's own
+// (server.SimRequest, server.BatchRecord, ...), so client and server cannot
+// drift apart.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"itlbcfr/internal/exp"
+	"itlbcfr/internal/server"
+)
+
+// Client talks to one itlbd daemon. The zero value is not usable; create
+// with New and adjust the exported knobs before the first call.
+type Client struct {
+	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+
+	// HTTPClient overrides the transport (nil = http.DefaultClient, which
+	// has no overall timeout — batch streams can be long-lived, so bound
+	// calls with their contexts instead).
+	HTTPClient *http.Client
+
+	// Retries is how many times a failed request is re-issued after the
+	// first attempt (0 = 2; negative = never retry). Only transport errors
+	// and 503 responses are retried.
+	Retries int
+
+	// Backoff is the delay before the first retry, doubling per attempt
+	// (0 = 100ms).
+	Backoff time.Duration
+}
+
+// New returns a Client for the daemon at baseURL ("host:port" is accepted
+// and normalized to http).
+func New(baseURL string) *Client {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// StatusError reports a non-2xx API response, with the server's JSON error
+// message when one was sent.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return 2
+	}
+	return c.Retries
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.Backoff
+}
+
+// statusError drains the response body into a StatusError.
+func statusError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(b))
+	if json.Unmarshal(b, &apiErr) == nil && apiErr.Error != "" {
+		msg = apiErr.Error
+	}
+	return &StatusError{Code: resp.StatusCode, Message: msg}
+}
+
+// retryable reports whether re-issuing the request may succeed: transport
+// errors (daemon not yet up, connection reset) and 503 (no simulation slot
+// in time). Context cancellation is terminal.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == http.StatusServiceUnavailable
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// do issues method path with the given JSON body (nil for none), retrying
+// per the Client's policy, and returns a response guaranteed to have a 2xx
+// status; the caller owns the body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	delay := c.backoff()
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(ctx, method, path, body)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= c.retries() || !retryable(err) {
+			return nil, err
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		delay *= 2
+	}
+}
+
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		defer resp.Body.Close()
+		return nil, statusError(resp)
+	}
+	return resp, nil
+}
+
+// getJSON fetches path and decodes the JSON response into v.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// postJSON posts in to path and decodes the JSON response into out.
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health is /healthz's reply.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_s"`
+	InFlight      int64   `json:"in_flight"`
+}
+
+// Healthz checks daemon liveness.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.getJSON(ctx, "/healthz", &h)
+	return h, err
+}
+
+// Specs lists every regenerable table/figure.
+func (c *Client) Specs(ctx context.Context) ([]server.SpecInfo, error) {
+	var out []server.SpecInfo
+	err := c.getJSON(ctx, "/v1/specs", &out)
+	return out, err
+}
+
+// Table regenerates one table/figure by id ("2", "figure4", "sweep-page").
+func (c *Client) Table(ctx context.Context, id string) (exp.Table, error) {
+	var t exp.Table
+	err := c.getJSON(ctx, "/v1/tables/"+url.PathEscape(id)+"?format=json", &t)
+	return t, err
+}
+
+// TableText regenerates one table/figure as the aligned text rendering.
+func (c *Client) TableText(ctx context.Context, id string) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/tables/"+url.PathEscape(id), nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Sim runs (or fetches from cache) one simulation.
+func (c *Client) Sim(ctx context.Context, req server.SimRequest) (server.SimResponse, error) {
+	var out server.SimResponse
+	err := c.postJSON(ctx, "/v1/sim", req, &out)
+	return out, err
+}
+
+// Stats snapshots the daemon's counters.
+func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
+	var out server.StatsResponse
+	err := c.getJSON(ctx, "/v1/stats", &out)
+	return out, err
+}
+
+// BatchStream iterates a /v1/batch NDJSON response as records arrive.
+// Always Close it (closing mid-stream tells the server to stop admitting
+// the batch's remaining simulations).
+type BatchStream struct {
+	// Jobs is the expanded job count announced by the server; the stream
+	// carries exactly one record per job unless it is cut short.
+	Jobs int
+
+	body     io.ReadCloser
+	dec      *json.Decoder
+	received int
+}
+
+// Batch starts a bulk request and returns the record stream. Retries apply
+// only to starting the stream, never mid-iteration (a resume is a new Batch
+// call — records carry store keys, so a warm daemon replays the finished
+// part from cache at memo speed).
+func (c *Client) Batch(ctx context.Context, req server.BatchRequest) (*BatchStream, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/batch", body)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := strconv.Atoi(resp.Header.Get("X-Batch-Jobs"))
+	if err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: missing X-Batch-Jobs header: %w", err)
+	}
+	return &BatchStream{Jobs: jobs, body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// Next returns the next record. It returns io.EOF after the last of the
+// announced records, and io.ErrUnexpectedEOF (wrapped) if the stream ends
+// early — a daemon deadline or a dropped connection.
+func (s *BatchStream) Next() (server.BatchRecord, error) {
+	var rec server.BatchRecord
+	if err := s.dec.Decode(&rec); err != nil {
+		if errors.Is(err, io.EOF) {
+			if s.received < s.Jobs {
+				return rec, fmt.Errorf("client: batch stream ended after %d/%d records: %w",
+					s.received, s.Jobs, io.ErrUnexpectedEOF)
+			}
+			return rec, io.EOF
+		}
+		return rec, err
+	}
+	s.received++
+	return rec, nil
+}
+
+// Received reports how many records Next has returned so far.
+func (s *BatchStream) Received() int { return s.received }
+
+// Close releases the stream's connection.
+func (s *BatchStream) Close() error { return s.body.Close() }
+
+// BatchCollect runs a bulk request to completion and returns every record
+// (in completion order, as streamed).
+func (c *Client) BatchCollect(ctx context.Context, req server.BatchRequest) ([]server.BatchRecord, error) {
+	st, err := c.Batch(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	recs := make([]server.BatchRecord, 0, st.Jobs)
+	for {
+		rec, err := st.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

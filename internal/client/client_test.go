@@ -1,0 +1,229 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"itlbcfr/internal/exp"
+	"itlbcfr/internal/server"
+)
+
+// testDaemon spins a real server (short simulations) behind httptest and a
+// Client pointed at it.
+func testDaemon(t *testing.T, wrap func(http.Handler) http.Handler) (*Client, *exp.Runner) {
+	t.Helper()
+	r := exp.NewRunner(20_000, 5_000)
+	s := server.New(server.Config{Runner: r, MaxConcurrent: 4})
+	var h http.Handler = s.Handler()
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	c.Backoff = time.Millisecond
+	return c, r
+}
+
+func TestClientEndpoints(t *testing.T) {
+	c, r := testDaemon(t, nil)
+	ctx := context.Background()
+
+	h, err := c.Healthz(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("Healthz = %+v, %v", h, err)
+	}
+
+	specs, err := c.Specs(ctx)
+	if err != nil || len(specs) != len(exp.Specs()) {
+		t.Fatalf("Specs = %d entries, %v (want %d)", len(specs), err, len(exp.Specs()))
+	}
+
+	resp, err := c.Sim(ctx, server.SimRequest{Bench: "mesa", Scheme: "IA", Style: "VI-PT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Bench != "177.mesa" || resp.Result.Committed == 0 {
+		t.Errorf("Sim result: %+v", resp.Result)
+	}
+	if !strings.HasPrefix(resp.Key, "s1-") {
+		t.Errorf("Sim key = %q, want canonical store key", resp.Key)
+	}
+
+	tb, err := c.Table(ctx, "5")
+	if err != nil || tb.ID != "Table 5" || len(tb.Rows) == 0 {
+		t.Fatalf("Table(5) = %+v, %v", tb.ID, err)
+	}
+	txt, err := c.TableText(ctx, "5")
+	if err != nil || !strings.Contains(txt, "Table 5") {
+		t.Fatalf("TableText(5) = %q, %v", txt, err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runner.Runs != r.Runs() || st.Requests == 0 {
+		t.Errorf("Stats = %+v, runner runs %d", st, r.Runs())
+	}
+}
+
+func TestClientAPIError(t *testing.T) {
+	c, _ := testDaemon(t, nil)
+	_, err := c.Sim(context.Background(), server.SimRequest{Bench: "nonesuch"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("bad bench error = %v, want *StatusError 400", err)
+	}
+	if !strings.Contains(se.Message, "nonesuch") {
+		t.Errorf("error lost the server message: %q", se.Message)
+	}
+	if _, err := c.Table(context.Background(), "nonesuch"); err == nil {
+		t.Error("unknown table did not error")
+	}
+}
+
+// TestClientRetry503: 503s are retried with backoff until the daemon has a
+// free slot; 400s are not retried at all.
+func TestClientRetry503(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := testDaemon(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) <= 2 {
+				http.Error(w, `{"error":"no simulation slot"}`, http.StatusServiceUnavailable)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	c.Retries = 3
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz with two 503s = %v, want success on third attempt", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("%d attempts, want 3", got)
+	}
+
+	before := calls.Load() // past the 503 window; requests now pass through
+	_, err := c.Sim(context.Background(), server.SimRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("empty sim = %v, want 400", err)
+	}
+	if got := calls.Load() - before; got != 1 {
+		t.Errorf("400 retried: %d attempts, want 1", got)
+	}
+}
+
+func TestClientRetryDisabled(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := testDaemon(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+		})
+	})
+	c.Retries = -1
+	if _, err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("want error with retries disabled")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d attempts with retries disabled, want 1", got)
+	}
+}
+
+func TestClientTransportError(t *testing.T) {
+	c := New("127.0.0.1:1") // nothing listens there
+	c.Retries = -1
+	_, err := c.Healthz(context.Background())
+	var ue *url.Error
+	if !errors.As(err, &ue) {
+		t.Fatalf("unreachable daemon = %v, want transport error", err)
+	}
+	if !retryable(err) {
+		t.Error("transport errors must be retryable")
+	}
+}
+
+func TestClientBatchStream(t *testing.T) {
+	c, r := testDaemon(t, nil)
+	req := server.BatchRequest{Sweep: &server.SweepRequest{AxesSpec: exp.AxesSpec{
+		Benches: []string{"mesa", "crafty"},
+		Schemes: []string{"Base", "IA"},
+	}}}
+
+	st, err := c.Batch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Jobs != 4 {
+		t.Fatalf("Jobs = %d, want 4", st.Jobs)
+	}
+	seen := map[int]bool{}
+	for {
+		rec, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Error != "" || rec.Result == nil {
+			t.Errorf("record %d failed: %q", rec.Index, rec.Error)
+		}
+		seen[rec.Index] = true
+	}
+	if st.Received() != 4 || len(seen) != 4 {
+		t.Errorf("received %d records over %d indices, want 4", st.Received(), len(seen))
+	}
+	if r.Runs() != 4 {
+		t.Errorf("runner ran %d simulations, want 4", r.Runs())
+	}
+
+	// Collect form, warm this time.
+	recs, err := c.BatchCollect(context.Background(), req)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("BatchCollect = %d records, %v", len(recs), err)
+	}
+	for _, rec := range recs {
+		if !rec.Cached {
+			t.Errorf("warm record %d not cached", rec.Index)
+		}
+	}
+}
+
+// TestClientBatchTruncated: a stream that dies before delivering every
+// announced record surfaces io.ErrUnexpectedEOF, not a silent success.
+func TestClientBatchTruncated(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Batch-Jobs", "5")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"index":0,"key":"s1-x"}`+"\n"+`{"index":1,"key":"s1-y"}`+"\n")
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+
+	st, err := c.Batch(context.Background(), server.BatchRequest{Sims: []server.SimRequest{{Bench: "mesa"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := st.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if _, err := st.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream = %v, want io.ErrUnexpectedEOF", err)
+	}
+}

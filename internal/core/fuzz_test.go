@@ -1,0 +1,36 @@
+package core
+
+import "testing"
+
+// FuzzParseScheme: the parser never panics, and every accepted name
+// round-trips through String and through the text marshaling the JSON wire
+// formats rely on.
+func FuzzParseScheme(f *testing.F) {
+	for _, seed := range []string{
+		"Base", "OPT", "HoA", "SoCA", "SoLA", "IA",
+		"base", "ia", "SOCA", "sOlA", "", "XX", "scheme(3)", " IA", "IA ", "\x00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sch, err := ParseScheme(s)
+		if err != nil {
+			return
+		}
+		if !sch.Known() {
+			t.Fatalf("ParseScheme(%q) = %d, accepted but unknown", s, int(sch))
+		}
+		again, err := ParseScheme(sch.String())
+		if err != nil || again != sch {
+			t.Fatalf("round-trip drift: %q -> %v -> %q -> %v (%v)", s, sch, sch.String(), again, err)
+		}
+		txt, err := sch.MarshalText()
+		if err != nil {
+			t.Fatalf("known scheme %v failed MarshalText: %v", sch, err)
+		}
+		var um Scheme
+		if err := um.UnmarshalText(txt); err != nil || um != sch {
+			t.Fatalf("text round-trip drift: %v -> %q -> %v (%v)", sch, txt, um, err)
+		}
+	})
+}

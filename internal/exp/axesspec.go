@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/workload"
+)
+
+// AxesSpec is the name-based form of Axes: every dimension is spelled the
+// way the CLIs and the HTTP API spell it ("vortex", "IA", "VI-PT", "16x2"),
+// so a sweep declaration can travel as JSON or flag values and be expanded
+// wherever it lands. A nil dimension means the same default as Axes (every
+// benchmark, Base, VI-PT, the Table 1 iTLB, 4KB pages); "all" in Benches
+// expands to every benchmark explicitly.
+type AxesSpec struct {
+	Benches   []string `json:"benches,omitempty"`
+	Schemes   []string `json:"schemes,omitempty"`
+	Styles    []string `json:"styles,omitempty"`
+	ITLBs     []string `json:"itlbs,omitempty"`
+	PageBytes []uint64 `json:"page_bytes,omitempty"`
+}
+
+// Axes resolves every name into the typed cross-product declaration.
+func (s AxesSpec) Axes() (Axes, error) {
+	var a Axes
+	for _, b := range s.Benches {
+		b = strings.TrimSpace(b)
+		if strings.EqualFold(b, "all") {
+			a.Profiles = append(a.Profiles, workload.Profiles()...)
+			continue
+		}
+		p, err := workload.ByName(b)
+		if err != nil {
+			return Axes{}, err
+		}
+		a.Profiles = append(a.Profiles, p)
+	}
+	for _, n := range s.Schemes {
+		sch, err := core.ParseScheme(strings.TrimSpace(n))
+		if err != nil {
+			return Axes{}, err
+		}
+		a.Schemes = append(a.Schemes, sch)
+	}
+	for _, n := range s.Styles {
+		st, err := cache.ParseStyle(strings.TrimSpace(n))
+		if err != nil {
+			return Axes{}, err
+		}
+		a.Styles = append(a.Styles, st)
+	}
+	for _, n := range s.ITLBs {
+		cfg, err := tlb.ParseSpec(strings.TrimSpace(n))
+		if err != nil {
+			return Axes{}, err
+		}
+		a.ITLBs = append(a.ITLBs, cfg)
+	}
+	for _, pb := range s.PageBytes {
+		if pb == 0 {
+			return Axes{}, fmt.Errorf("exp: page_bytes 0 (omit the dimension for the default)")
+		}
+		a.PageBytes = append(a.PageBytes, pb)
+	}
+	return a, nil
+}

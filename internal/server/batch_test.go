@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"itlbcfr/internal/exp"
+)
+
+// sweep20 expands to exactly 20 configurations (5 benchmarks x 4 schemes).
+const sweep20 = `{"sweep":{"benches":["mesa","crafty","fma3d","eon","gap"],"schemes":["Base","OPT","HoA","IA"]}}`
+
+func postBatch(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeRecords(t *testing.T, rd io.Reader) []BatchRecord {
+	t.Helper()
+	var recs []BatchRecord
+	dec := json.NewDecoder(rd)
+	for {
+		var rec BatchRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return recs
+		} else if err != nil {
+			t.Fatalf("record %d: %v", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// TestBatchEndpoint: a 20-config sweep streams one NDJSON record per job,
+// each carrying the canonical store key, and a repeat batch is served
+// entirely from the memo.
+func TestBatchEndpoint(t *testing.T) {
+	s, r := testServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postBatch(t, ts, sweep20)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch = %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if h := resp.Header.Get("X-Batch-Jobs"); h != "20" {
+		t.Errorf("X-Batch-Jobs = %q, want 20", h)
+	}
+	recs := decodeRecords(t, resp.Body)
+	if len(recs) != 20 {
+		t.Fatalf("streamed %d records, want 20", len(recs))
+	}
+	seen := make(map[int]bool)
+	keys := make(map[string]bool)
+	for _, rec := range recs {
+		if rec.Index < 0 || rec.Index >= 20 || seen[rec.Index] {
+			t.Errorf("bad or duplicate index %d", rec.Index)
+		}
+		seen[rec.Index] = true
+		if !strings.HasPrefix(rec.Key, "s1-") {
+			t.Errorf("record %d key %q is not a canonical store key", rec.Index, rec.Key)
+		}
+		keys[rec.Key] = true
+		if rec.Error != "" || rec.Result == nil {
+			t.Errorf("record %d failed: %q", rec.Index, rec.Error)
+		} else if rec.Result.Committed == 0 || rec.Result.Bench != rec.Bench {
+			t.Errorf("record %d result mislabeled: %+v", rec.Index, rec.Result)
+		}
+	}
+	if len(keys) != 20 {
+		t.Errorf("%d distinct keys for 20 distinct configs", len(keys))
+	}
+	if r.Runs() != 20 {
+		t.Errorf("sweep ran %d simulations, want 20", r.Runs())
+	}
+
+	// Warm repeat: every record is a cached hit, nothing re-simulates.
+	resp2 := postBatch(t, ts, sweep20)
+	defer resp2.Body.Close()
+	for _, rec := range decodeRecords(t, resp2.Body) {
+		if !rec.Cached || rec.Result == nil {
+			t.Errorf("warm record %d not served from cache: %+v", rec.Index, rec)
+		}
+	}
+	if r.Runs() != 20 {
+		t.Errorf("warm repeat re-simulated: %d runs", r.Runs())
+	}
+}
+
+// TestBatchStreams: the first record arrives while later jobs are still
+// simulating — the response is a stream, not a buffered reply.
+func TestBatchStreams(t *testing.T) {
+	// Simulations long enough (~75ms) that the whole 20-job batch cannot
+	// finish behind a one-slot semaphore before the first record arrives.
+	r := exp.NewRunner(1_000_000, 200_000)
+	s := New(Config{Runner: r, MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postBatch(t, ts, sweep20)
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var first BatchRecord
+	if err := dec.Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	// The remaining 19 jobs cannot all have finished when the first record
+	// is readable, unless the response was buffered instead of streamed.
+	if got := r.Runs(); got == 20 {
+		t.Error("first record only readable after the whole batch finished")
+	}
+	// Dropping the stream here lets the server short-circuit the rest of
+	// the batch (ts.Close below waits for the handler to wind down).
+}
+
+// TestBatchDedup: duplicate configurations inside one batch coalesce onto a
+// single simulation but still produce one record each.
+func TestBatchDedup(t *testing.T) {
+	s, r := testServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sims := strings.Repeat(`{"bench":"mesa","scheme":"IA"},`, 5)
+	resp := postBatch(t, ts, `{"sims":[`+strings.TrimSuffix(sims, ",")+`]}`)
+	defer resp.Body.Close()
+	recs := decodeRecords(t, resp.Body)
+	if len(recs) != 5 {
+		t.Fatalf("%d records, want 5", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Error != "" || rec.Result == nil {
+			t.Errorf("record %d failed: %q", rec.Index, rec.Error)
+		}
+		if rec.Key != recs[0].Key {
+			t.Errorf("duplicate configs got different keys: %q vs %q", rec.Key, recs[0].Key)
+		}
+	}
+	if r.Runs() != 1 {
+		t.Errorf("5 identical jobs ran %d simulations, want 1", r.Runs())
+	}
+}
+
+// TestBatchBadRequests: every malformed batch fails whole with 400 before
+// any streaming starts.
+func TestBatchBadRequests(t *testing.T) {
+	s, r := testServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	oversized, err := json.Marshal(BatchRequest{Sweep: &SweepRequest{AxesSpec: exp.AxesSpec{
+		Benches: []string{"all"},
+		Schemes: []string{"Base", "OPT", "HoA", "SoCA", "SoLA", "IA"},
+		Styles:  []string{"VI-VT", "VI-PT", "PI-PT"},
+		ITLBs: func() []string {
+			out := make([]string, 40)
+			for i := range out {
+				out[i] = fmt.Sprint(i + 1)
+			}
+			return out
+		}(), // 6*6*3*40 = 4320 > MaxBatchJobs
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, body := range map[string]string{
+		"not json":       `{`,
+		"empty batch":    `{}`,
+		"empty sims":     `{"sims":[]}`,
+		"unknown field":  `{"jobs":[]}`,
+		"bad sim bench":  `{"sims":[{"bench":"nonesuch"}]}`,
+		"bad sweep":      `{"sweep":{"schemes":["XX"]}}`,
+		"bad sweep itlb": `{"sweep":{"itlbs":["banana"]}}`,
+		"zero page":      `{"sweep":{"page_bytes":[0]}}`,
+		"invalid geom":   `{"sweep":{"itlbs":["0x9"]}}`,
+		"oversized":      string(oversized),
+	} {
+		resp := postBatch(t, ts, body)
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: code = %d, want 400 (%s)", name, resp.StatusCode, b)
+		}
+		if !bytes.Contains(b, []byte(`"error"`)) {
+			t.Errorf("%s: body is not a JSON error: %s", name, b)
+		}
+	}
+	if r.Runs() != 0 {
+		t.Errorf("rejected batches still ran %d simulations", r.Runs())
+	}
+}
+
+// TestBatchClientDisconnect: dropping the connection mid-stream stops the
+// batch admitting new simulations, in-flight work settles the shared memo,
+// and no goroutines leak (asserted under -race in CI).
+func TestBatchClientDisconnect(t *testing.T) {
+	// Long enough simulations that the stream is cut while most of the
+	// batch is still pending.
+	r := exp.NewRunner(2_000_000, 300_000)
+	s := New(Config{Runner: r, MaxConcurrent: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/batch",
+		strings.NewReader(sweep20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for i := 0; i < 2; i++ {
+		var rec BatchRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("record %d before disconnect: %v", i, err)
+		}
+		if rec.Error != "" || rec.Result == nil {
+			t.Fatalf("record %d failed before disconnect: %q", i, rec.Error)
+		}
+	}
+	cancel() // drop the connection mid-stream
+	resp.Body.Close()
+
+	// The handler must wind down: in-flight simulations (bounded by
+	// MaxConcurrent) finish and settle, unstarted jobs never run, and every
+	// goroutine the batch spawned exits.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := r.Stats()
+		if st.InFlight == 0 && runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("batch did not wind down after disconnect: in-flight %d, goroutines %d (baseline %d)\n%s",
+				st.InFlight, runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if runs := r.Runs(); runs >= 20 {
+		t.Errorf("disconnected batch still ran all %d simulations", runs)
+	}
+	// The server remains healthy and the semaphore fully recovered.
+	if code, b := postSim(t, ts, `{"bench":"mesa"}`); code != http.StatusOK {
+		t.Errorf("sim after disconnect = %d: %s", code, b)
+	}
+}

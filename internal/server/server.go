@@ -12,6 +12,8 @@
 //	GET  /v1/specs          every table/figure spec (id, title, cell count)
 //	GET  /v1/tables/{id}    one regenerated table (?format=text|json|csv)
 //	POST /v1/sim            one simulation configuration -> full result
+//	POST /v1/batch          many configurations (list and/or declarative
+//	                        sweep) -> NDJSON stream in completion order
 //	GET  /v1/stats          runner/store/server counters
 //
 // Simulations are CPU-bound and non-interruptible once started, so the
@@ -27,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -73,8 +76,10 @@ type Server struct {
 	sem   chan struct{}
 	start time.Time
 
-	requests atomic.Int64
-	inFlight atomic.Int64
+	requests  atomic.Int64
+	inFlight  atomic.Int64
+	batches   atomic.Int64
+	batchJobs atomic.Int64
 }
 
 // New builds a Server around a shared Runner.
@@ -98,6 +103,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/specs", s.handleSpecs)
 	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTable)
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -184,6 +190,22 @@ func statusFor(err error) int {
 	}
 }
 
+// decodeStrict decodes exactly one JSON value from r into v, rejecting
+// unknown fields and trailing data (a concatenated or garbage-suffixed body
+// is a malformed request, not a request plus noise to ignore).
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return errors.New("unexpected data after the JSON body")
+	}
+	return nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -204,8 +226,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// specInfo describes one regenerable table/figure.
-type specInfo struct {
+// SpecInfo describes one regenerable table/figure.
+type SpecInfo struct {
 	ID    string `json:"id"`
 	Title string `json:"title"`
 	Cells int    `json:"cells"`
@@ -213,9 +235,9 @@ type specInfo struct {
 
 func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 	specs := exp.Specs()
-	out := make([]specInfo, 0, len(specs))
+	out := make([]SpecInfo, 0, len(specs))
 	for _, sp := range specs {
-		out = append(out, specInfo{ID: sp.ID, Title: sp.Title, Cells: len(sp.Cells())})
+		out = append(out, SpecInfo{ID: sp.ID, Title: sp.Title, Cells: len(sp.Cells())})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -310,9 +332,7 @@ type SimResponse struct {
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	var req SimRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeStrict(r.Body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -346,11 +366,13 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SimResponse{Key: key, Result: res})
 }
 
-// statsResponse aggregates every counter the service keeps.
-type statsResponse struct {
+// StatsResponse aggregates every counter the service keeps.
+type StatsResponse struct {
 	UptimeSeconds float64      `json:"uptime_s"`
 	Requests      int64        `json:"requests"`
 	InFlight      int64        `json:"in_flight"`
+	Batches       int64        `json:"batches"`
+	BatchJobs     int64        `json:"batch_jobs"`
 	SimWallSecs   float64      `json:"sim_wall_s"`
 	Runner        exp.Stats    `json:"runner"`
 	Store         *store.Stats `json:"store,omitempty"`
@@ -358,10 +380,12 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rs := s.cfg.Runner.Stats()
-	resp := statsResponse{
+	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		InFlight:      s.inFlight.Load(),
+		Batches:       s.batches.Load(),
+		BatchJobs:     s.batchJobs.Load(),
 		SimWallSecs:   rs.SimWall.Seconds(),
 		Runner:        rs,
 	}

@@ -85,7 +85,7 @@ func TestSpecs(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("specs = %d: %s", code, b)
 	}
-	var specs []specInfo
+	var specs []SpecInfo
 	if err := json.Unmarshal(b, &specs); err != nil {
 		t.Fatal(err)
 	}
@@ -135,17 +135,33 @@ func TestSimEndpoint(t *testing.T) {
 	}
 
 	for name, body := range map[string]string{
-		"no bench":      `{}`,
-		"bad bench":     `{"bench":"nonesuch"}`,
-		"bad scheme":    `{"bench":"mesa","scheme":"XX"}`,
-		"bad style":     `{"bench":"mesa","style":"XX-XX"}`,
-		"bad itlb":      `{"bench":"mesa","itlb":"banana"}`,
-		"bad page":      `{"bench":"mesa","page_bytes":3000}`,
-		"unknown field": `{"bench":"mesa","bogus":1}`,
-		"not json":      `{`,
+		"no bench":       `{}`,
+		"bad bench":      `{"bench":"nonesuch"}`,
+		"bad scheme":     `{"bench":"mesa","scheme":"XX"}`,
+		"bad style":      `{"bench":"mesa","style":"XX-XX"}`,
+		"bad itlb":       `{"bench":"mesa","itlb":"banana"}`,
+		"bad itlb geom":  `{"bench":"mesa","itlb":"0x9"}`,
+		"bad page":       `{"bench":"mesa","page_bytes":3000}`,
+		"unknown field":  `{"bench":"mesa","bogus":1}`,
+		"not json":       `{`,
+		"empty body":     ``,
+		"truncated":      `{"bench":"mes`,
+		"wrong type":     `{"bench":42}`,
+		"array body":     `[{"bench":"mesa"}]`,
+		"null body":      `null`,
+		"trailing junk":  `{"bench":"mesa"} garbage`,
+		"double encoded": `"{\"bench\":\"mesa\"}"`,
 	} {
-		if code, b := postSim(t, ts, body); code != http.StatusBadRequest {
+		code, b := postSim(t, ts, body)
+		if code != http.StatusBadRequest {
 			t.Errorf("%s: code = %d, want 400 (%s)", name, code, b)
+			continue
+		}
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(b, &apiErr); err != nil || apiErr.Error == "" {
+			t.Errorf("%s: 400 body is not a JSON error: %s", name, b)
 		}
 	}
 }
@@ -232,7 +248,7 @@ func TestStats(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("stats = %d: %s", code, b)
 	}
-	var resp statsResponse
+	var resp StatsResponse
 	if err := json.Unmarshal(b, &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -256,6 +272,54 @@ func TestRequestTimeout(t *testing.T) {
 	}
 	if code, _ := get(t, ts, "/healthz"); code != http.StatusOK {
 		t.Error("server unhealthy after a timed-out request")
+	}
+}
+
+// TestSemaphoreSaturation: with every simulation slot occupied, a request
+// that cannot get a slot inside its deadline gets 504 (503 on a canceled
+// wait) and the slot machinery recovers once the occupant finishes.
+func TestSemaphoreSaturation(t *testing.T) {
+	// One slot; ~1.4s per simulation so the occupant comfortably outlives
+	// the second request's deadline.
+	r := exp.NewRunner(20_000_000, 0)
+	s := New(Config{Runner: r, MaxConcurrent: 1, RequestTimeout: 300 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// No postSim here: its t.Fatal would Goexit this goroutine without
+	// sending, deadlocking the receive below.
+	occupant := make(chan int, 1)
+	go func() {
+		resp, err := ts.Client().Post(ts.URL+"/v1/sim", "application/json",
+			strings.NewReader(`{"bench":"mesa"}`))
+		if err != nil {
+			occupant <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		occupant <- resp.StatusCode
+	}()
+	time.Sleep(100 * time.Millisecond) // let the occupant take the slot
+
+	code, b := postSim(t, ts, `{"bench":"crafty"}`)
+	if code != http.StatusGatewayTimeout && code != http.StatusServiceUnavailable {
+		t.Errorf("starved request = %d (%s), want 503/504", code, b)
+	}
+	if !bytes.Contains(b, []byte("no simulation slot")) {
+		t.Errorf("starved request body does not name the cause: %s", b)
+	}
+
+	// The occupant started before its deadline and runs to completion.
+	if code := <-occupant; code != http.StatusOK {
+		t.Errorf("occupant = %d, want 200", code)
+	}
+	// The slot is free again: a cached config answers instantly.
+	if code, b := postSim(t, ts, `{"bench":"mesa"}`); code != http.StatusOK {
+		t.Errorf("request after saturation = %d: %s", code, b)
+	}
+	if r.Runs() != 1 {
+		t.Errorf("runner ran %d simulations, want 1 (starved request must not run)", r.Runs())
 	}
 }
 

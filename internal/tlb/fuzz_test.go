@@ -1,0 +1,41 @@
+package tlb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec: no input may panic the parser, and every accepted spec must
+// round-trip — the parsed Config renders back to a spec (Config.Spec) that
+// parses to the identical Config. This pins the compact syntax the CLIs, the
+// HTTP API and the load generator all share.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"32", "16x2", "1+32", "4x4", "128x128", "0", "0x9", "007", "-1",
+		"", " 32", "x", "+", "16x", "x2", "1+", "+32", "1+2+3", "16x2+32",
+		"banana", "32 ", "3 2", "1e3", "0x10", "16X2", "\x00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		spec, ok := cfg.Spec()
+		if !ok {
+			t.Fatalf("ParseSpec(%q) = %+v has no spec rendering", s, cfg)
+		}
+		cfg2, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) accepted but its rendering %q rejected: %v", s, spec, err)
+		}
+		if !reflect.DeepEqual(cfg, cfg2) {
+			t.Fatalf("round-trip drift: %q -> %+v -> %q -> %+v", s, cfg, spec, cfg2)
+		}
+		// A second rendering must be bit-stable (Spec is canonical).
+		if spec2, ok2 := cfg2.Spec(); !ok2 || spec2 != spec {
+			t.Fatalf("Spec not canonical: %q vs %q", spec, spec2)
+		}
+	})
+}

@@ -108,6 +108,34 @@ func ParseSpec(s string) (Config, error) {
 	return Mono(e, e), nil
 }
 
+// Spec renders the configuration in ParseSpec's compact syntax, reporting
+// ok = false for configurations the syntax cannot express (parallel lookup,
+// a set-associative second level, non-default latencies). For every config
+// ParseSpec produces, Spec round-trips: ParseSpec(spec) yields c again.
+func (c Config) Spec() (spec string, ok bool) {
+	switch len(c.Levels) {
+	case 1:
+		if c.Parallel || c.Level2Latency != 0 || c.MissPenalty != 50 {
+			return "", false
+		}
+		l := c.Levels[0]
+		if l.Assoc == l.Entries {
+			return fmt.Sprintf("%d", l.Entries), true
+		}
+		return fmt.Sprintf("%dx%d", l.Entries, l.Assoc), true
+	case 2:
+		if c.Parallel || c.Level2Latency != 1 || c.MissPenalty != 50 {
+			return "", false
+		}
+		l1, l2 := c.Levels[0], c.Levels[1]
+		if l1.Assoc != l1.Entries || l2.Assoc != l2.Entries {
+			return "", false
+		}
+		return fmt.Sprintf("%d+%d", l1.Entries, l2.Entries), true
+	}
+	return "", false
+}
+
 // Validate checks the whole configuration.
 func (c Config) Validate() error {
 	if len(c.Levels) < 1 || len(c.Levels) > 2 {
