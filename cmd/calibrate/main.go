@@ -51,7 +51,9 @@ var targets = map[string]target{
 func main() {
 	n := flag.Int("n", 1_000_000, "instructions to execute per benchmark")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
+	checkVersion := cliutil.VersionFlag()
 	flag.Parse()
+	checkVersion()
 
 	ctx, stop := cliutil.SignalContext(0)
 	defer stop()

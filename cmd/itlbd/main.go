@@ -7,12 +7,15 @@
 //	itlbd -addr :9090 -cache /var/itlbcfr   # durable result store
 //	itlbd -n 250000 -warmup 50000           # shorter simulations
 //	itlbd -parallel 4 -req-timeout 2m       # bound load per request
+//	itlbd -debug-addr 127.0.0.1:6060        # pprof + expvar side listener
+//	itlbd -log-format json                  # NDJSON logs for collectors
 //
-// Endpoints (see internal/server): GET /healthz, GET /v1/specs,
-// GET /v1/tables/{id}?format=text|json|csv, POST /v1/sim, POST /v1/batch,
-// GET /v1/stats.
+// Endpoints (see internal/server): GET /healthz, GET /metrics (Prometheus
+// text exposition), GET /v1/specs, GET /v1/tables/{id}?format=text|json|csv,
+// POST /v1/sim, POST /v1/batch, GET /v1/stats.
 //
 //	curl -s localhost:8080/v1/tables/6
+//	curl -s localhost:8080/metrics
 //	curl -s -X POST localhost:8080/v1/sim \
 //	  -d '{"bench":"vortex","scheme":"IA","style":"VI-PT","itlb":"16x2"}'
 //	curl -sN -X POST localhost:8080/v1/batch \
@@ -24,43 +27,90 @@
 // order, each carrying the canonical store key. Go programs should use
 // internal/client; cmd/itlbload drives a daemon with a bulk-traffic mix.
 //
+// Logging is structured (log/slog, text or JSON): one startup line with the
+// full effective configuration, one access line per request tagged with its
+// X-Request-ID, and explicit error lines — with a non-zero exit — when a
+// listener cannot bind. -debug-addr exposes net/http/pprof and expvar on a
+// second listener so profiling never shares a port (or an ACL) with the
+// public API.
+//
 // SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
-// requests get -grace to finish, then the process exits.
+// requests get -grace to finish, then the process exits after a structured
+// shutdown line.
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
 	"itlbcfr/internal/cliutil"
 	"itlbcfr/internal/exp"
+	"itlbcfr/internal/obs"
 	"itlbcfr/internal/server"
 	"itlbcfr/internal/sim"
 	"itlbcfr/internal/store"
 )
 
+// debugMux serves the profiler endpoints net/http/pprof normally hangs on
+// the default mux, plus expvar, so the debug listener works without
+// importing for side effects into the API mux.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
 func main() {
+	start := time.Now()
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this separate address (empty = disabled)")
 	cacheDir := flag.String("cache", "", "disk-backed result store directory (empty = memory only)")
 	n := flag.Uint64("n", sim.DefaultInstructions, "committed instructions per simulation")
 	warm := flag.Uint64("warmup", sim.DefaultWarmup, "warm-up instructions before measurement")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (tables and requests)")
 	reqTimeout := flag.Duration("req-timeout", time.Minute, "per-request deadline (0 = none)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace for in-flight requests")
+	logFormat := flag.String("log-format", "text", "log output format: text, json")
+	checkVersion := cliutil.VersionFlag()
 	flag.Parse()
+	checkVersion()
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		cliutil.Fail(fmt.Errorf("itlbd: unknown -log-format %q (want text or json)", *logFormat))
+	}
+	log := slog.New(handler)
+
+	reg := obs.NewRegistry()
 	runner := exp.NewRunner(*n, *warm)
 	runner.Workers = *parallel
+	runner.Metrics = exp.NewMetrics(reg)
 
 	var st *store.Store
 	if *cacheDir != "" {
 		var err error
 		if st, err = store.Open(*cacheDir); err != nil {
-			cliutil.Fail(err)
+			log.Error("opening result store failed", "dir", *cacheDir, "err", err)
+			os.Exit(1)
 		}
 		runner.Backing = st
 	}
@@ -71,6 +121,8 @@ func main() {
 		MaxConcurrent:  *parallel,
 		RequestTimeout: *reqTimeout,
 		ShutdownGrace:  *grace,
+		Registry:       reg,
+		Logger:         log,
 	})
 
 	ctx, stop := cliutil.SignalContext(0)
@@ -78,12 +130,38 @@ func main() {
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		cliutil.Fail(err)
+		log.Error("bind failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "itlbd listening on http://%s (n=%d warmup=%d parallel=%d cache=%q)\n",
-		l.Addr(), *n, *warm, *parallel, *cacheDir)
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Error("debug bind failed", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		ds := &http.Server{Handler: debugMux()}
+		go ds.Serve(dl)
+		go func() {
+			<-ctx.Done()
+			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			ds.Shutdown(sctx)
+		}()
+		log.Info("debug listener up", "addr", dl.Addr().String(),
+			"pprof", "/debug/pprof/", "expvar", "/debug/vars")
+	}
+
+	bi := obs.ReadBuildInfo()
+	log.Info("itlbd listening",
+		"addr", l.Addr().String(),
+		"n", *n, "warmup", *warm, "parallel", *parallel,
+		"cache", *cacheDir, "req_timeout", *reqTimeout, "grace", *grace,
+		"go_version", bi.GoVersion, "revision", bi.Revision)
+
 	if err := srv.Serve(ctx, l); err != nil {
-		cliutil.Fail(err)
+		log.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "itlbd: graceful shutdown complete")
+	log.Info("graceful shutdown complete", "uptime", time.Since(start).String())
 }

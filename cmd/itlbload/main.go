@@ -4,7 +4,9 @@
 // issued from concurrent workers for a fixed duration. It reports per-kind
 // throughput and latency quantiles, plus the server-side counter deltas
 // (/v1/stats before vs after) that show how much of the load was absorbed
-// by the memo and the disk store.
+// by the memo and the disk store, and the /metrics counter deltas (every
+// *_total series the run moved, with the daemon's own mean request latency
+// derived from its latency histogram).
 //
 //	itlbload -addr 127.0.0.1:8080 -d 10s -c 8                 # default mix
 //	itlbload -mix sim=1 -benches all -schemes Base,IA          # singles only
@@ -147,7 +149,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed for the operation/configuration choice")
 	reqTimeout := flag.Duration("req-timeout", 2*time.Minute, "per-operation deadline")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
+	checkVersion := cliutil.VersionFlag()
 	flag.Parse()
+	checkVersion()
 
 	w, closeOut, err := cliutil.OpenOutput(*out)
 	if err != nil {
@@ -213,6 +217,16 @@ func main() {
 		defer cancel()
 		return c.Stats(sctx)
 	}
+	metrics := func() map[string]float64 {
+		mctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		m, err := c.Metrics(mctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itlbload: /metrics unavailable: %v\n", err)
+			return nil
+		}
+		return m
+	}
 	hctx, hcancel := context.WithTimeout(context.Background(), 15*time.Second)
 	_, err = c.Healthz(hctx)
 	hcancel()
@@ -223,6 +237,7 @@ func main() {
 	if err != nil {
 		cliutil.Fail(err)
 	}
+	mBefore := metrics()
 
 	perWorker := make([][]sample, *conc)
 	var wg sync.WaitGroup
@@ -263,12 +278,14 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "itlbload: final stats unavailable: %v\n", err)
 	}
+	mAfter := metrics()
 
 	var all []sample
 	for _, s := range perWorker {
 		all = append(all, s...)
 	}
 	report(w, *addr, *conc, elapsed, all, before, after)
+	reportMetrics(w, mBefore, mAfter)
 }
 
 // runOp issues one operation, returning how many simulation configurations
@@ -352,4 +369,51 @@ func report(w io.Writer, addr string, conc int, elapsed time.Duration, all []sam
 		dRuns, dMemo, dBack, 100*hit)
 	fmt.Fprintf(w, "server: %.2fs simulation wall-time spent during the run\n",
 		after.SimWallSecs-before.SimWallSecs)
+}
+
+// reportMetrics prints the /metrics counter deltas the run produced: every
+// *_total series that moved (bucket series elided — the quantiles above
+// already summarize latency) plus the server-side mean request latency
+// derived from the itlb_http_request_seconds histogram sums. Client-side
+// quantiles in the table above include network and queue time; this is the
+// daemon's own view of the same traffic.
+func reportMetrics(w io.Writer, before, after map[string]float64) {
+	if before == nil || after == nil {
+		return
+	}
+	var names []string
+	for name := range after {
+		if strings.HasSuffix(seriesName(name), "_total") && after[name] != before[name] {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\nmetrics deltas (/metrics, %d series moved):\n", len(names))
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-60s %+g\n", name, after[name]-before[name])
+	}
+	var dSum, dCount float64
+	for name, v := range after {
+		switch seriesName(name) {
+		case "itlb_http_request_seconds_sum":
+			dSum += v - before[name]
+		case "itlb_http_request_seconds_count":
+			dCount += v - before[name]
+		}
+	}
+	if dCount > 0 {
+		fmt.Fprintf(w, "  server-side mean request latency: %.2fms over %.0f requests\n",
+			1e3*dSum/dCount, dCount)
+	}
+}
+
+// seriesName strips the label set from a "name{a=\"b\"}" series key.
+func seriesName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
 }

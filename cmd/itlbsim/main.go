@@ -180,7 +180,9 @@ func main() {
 	out := flag.String("o", "", "write results to this file instead of stdout")
 	timeout := flag.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
 	cacheDir := flag.String("cache", "", "disk-backed result store directory (empty = no reuse across runs)")
+	checkVersion := cliutil.VersionFlag()
 	flag.Parse()
+	checkVersion()
 
 	fail := cliutil.Fail
 

@@ -42,7 +42,9 @@ func main() {
 	out := flag.String("o", "", "write tables to this file instead of stdout")
 	timeout := flag.Duration("timeout", 0, "abort regeneration after this duration (0 = none)")
 	cacheDir := flag.String("cache", "", "disk-backed result store directory (empty = no reuse across runs)")
+	checkVersion := cliutil.VersionFlag()
 	flag.Parse()
+	checkVersion()
 
 	if *list {
 		fmt.Println(strings.Join(exp.IDs(), "\n"))

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"itlbcfr/internal/exp"
+	"itlbcfr/internal/obs"
 	"itlbcfr/internal/server"
 )
 
@@ -192,6 +193,8 @@ type Health struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_s"`
 	InFlight      int64   `json:"in_flight"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision"`
 }
 
 // Healthz checks daemon liveness.
@@ -199,6 +202,18 @@ func (c *Client) Healthz(ctx context.Context) (Health, error) {
 	var h Health
 	err := c.getJSON(ctx, "/healthz", &h)
 	return h, err
+}
+
+// Metrics scrapes GET /metrics into a flat map from series — `name` or
+// `name{label="v",...}` — to value, ready for before/after delta reports
+// (cmd/itlbload) or ad-hoc assertions.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return obs.ParseText(resp.Body)
 }
 
 // Specs lists every regenerable table/figure.

@@ -1,21 +1,46 @@
 // Package cliutil holds the scaffolding the command-line front ends share:
-// failure exit, signal/timeout context wiring, and -o output handling.
+// failure exit, signal/timeout context wiring, -o output handling, and the
+// -version flag.
 package cliutil
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
+
+	"itlbcfr/internal/obs"
 )
 
 // Fail prints the error and exits with status 2.
 func Fail(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(2)
+}
+
+// VersionString renders the binary's identity: name, VCS revision and Go
+// version, from the build info stamped into the binary.
+func VersionString() string {
+	bi := obs.ReadBuildInfo()
+	return fmt.Sprintf("%s %s (%s)", filepath.Base(os.Args[0]), bi.Revision, bi.GoVersion)
+}
+
+// VersionFlag registers -version on the default FlagSet. Call the returned
+// function right after flag.Parse: it prints the version and exits 0 when
+// the flag was set, and is a no-op otherwise.
+func VersionFlag() func() {
+	v := flag.Bool("version", false, "print version information and exit")
+	return func() {
+		if *v {
+			fmt.Println(VersionString())
+			os.Exit(0)
+		}
+	}
 }
 
 // SignalContext returns a context canceled by SIGINT/SIGTERM and, when

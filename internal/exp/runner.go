@@ -41,17 +41,30 @@ type Runner struct {
 	// after every successful simulation.
 	Backing Backing
 
-	mu          sync.Mutex
-	cache       map[string]*memoEntry
-	runs        int
-	memoHits    int
-	backingHits int
-	putErrors   int
-	inFlight    int
-	simWall     time.Duration
+	// Metrics, when set before first use, exports the Runner's counters
+	// and per-stage timings (NewMetrics registers them in an obs.Registry).
+	// Left nil, the Runner lazily builds an unregistered set so Stats()
+	// always works.
+	Metrics *Metrics
+
+	metricsOnce sync.Once
+
+	mu    sync.Mutex
+	cache map[string]*memoEntry
 }
 
-// Stats is a snapshot of the Runner's counters.
+// met returns the Runner's metric set, building an unregistered one on
+// first use when none was injected.
+func (r *Runner) met() *Metrics {
+	r.metricsOnce.Do(func() {
+		if r.Metrics == nil {
+			r.Metrics = NewMetrics(nil)
+		}
+	})
+	return r.Metrics
+}
+
+// Stats is a snapshot of the Runner's counters (read from its Metrics).
 type Stats struct {
 	// Runs counts simulations executed by this process (backing hits are
 	// not runs).
@@ -59,14 +72,18 @@ type Stats struct {
 	// MemoHits counts lookups served by the in-memory memo, including
 	// coalesced waits on in-flight simulations.
 	MemoHits int `json:"memo_hits"`
+	// Coalesced counts the subset of MemoHits that joined a simulation
+	// still in flight rather than a settled entry.
+	Coalesced int `json:"coalesced"`
 	// BackingHits counts memo misses satisfied by the backing store.
 	BackingHits int `json:"backing_hits"`
 	// PutErrors counts failed backing writes (dropped, not fatal).
 	PutErrors int `json:"put_errors"`
 	// InFlight counts claimed configurations not yet settled.
 	InFlight int `json:"in_flight"`
-	// SimWall is cumulative wall-clock time spent executing simulations
-	// (batch phases count pool wall-time once, not per worker).
+	// SimWall is cumulative wall-clock time spent executing simulations,
+	// summed per simulation (a parallel batch accumulates each worker's
+	// time, i.e. CPU-seconds of simulating, not pool wall time).
 	SimWall time.Duration `json:"sim_wall_ns"`
 }
 
@@ -76,6 +93,16 @@ type memoEntry struct {
 	done chan struct{}
 	res  sim.Result
 	err  error
+}
+
+// settled reports whether the entry has a published result (non-blocking).
+func (e *memoEntry) settled() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // NewRunner builds a Runner with the given simulation length.
@@ -107,22 +134,16 @@ func (r *Runner) Key(opt sim.Options) string {
 // Cached returns the settled memoized result for opt, without claiming,
 // blocking or computing. In-flight entries report false.
 func (r *Runner) Cached(opt sim.Options) (sim.Result, bool) {
+	m := r.met()
 	key := store.Key(r.normalize(opt))
+	t0 := time.Now()
 	r.mu.Lock()
 	e, ok := r.cache[key]
 	r.mu.Unlock()
-	if !ok {
-		return sim.Result{}, false
-	}
-	select {
-	case <-e.done:
-		if e.err == nil {
-			r.mu.Lock()
-			r.memoHits++
-			r.mu.Unlock()
-			return e.res, true
-		}
-	default:
+	m.memoLookup.ObserveSince(t0)
+	if ok && e.settled() && e.err == nil {
+		m.MemoHits.Inc()
+		return e.res, true
 	}
 	return sim.Result{}, false
 }
@@ -131,18 +152,27 @@ func (r *Runner) Cached(opt sim.Options) (sim.Result, bool) {
 // owns it (owner == true means the caller must settle the entry, from the
 // backing store or by simulating).
 func (r *Runner) claim(key string) (e *memoEntry, owner bool) {
+	m := r.met()
+	t0 := time.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.cache == nil {
 		r.cache = make(map[string]*memoEntry)
 	}
-	if e, ok := r.cache[key]; ok {
-		r.memoHits++
+	e, ok := r.cache[key]
+	if !ok {
+		e = &memoEntry{done: make(chan struct{})}
+		r.cache[key] = e
+	}
+	r.mu.Unlock()
+	m.memoLookup.ObserveSince(t0)
+	if ok {
+		m.MemoHits.Inc()
+		if !e.settled() {
+			m.Coalesced.Inc()
+		}
 		return e, false
 	}
-	e = &memoEntry{done: make(chan struct{})}
-	r.cache[key] = e
-	r.inFlight++
+	m.InFlight.Inc()
 	return e, true
 }
 
@@ -150,14 +180,15 @@ func (r *Runner) claim(key string) (e *memoEntry, owner bool) {
 // count toward Runs, failures are removed from the memo so a later call can
 // retry. ran distinguishes an executed simulation from a backing-store hit.
 func (r *Runner) settle(key string, e *memoEntry, res sim.Result, err error, ran bool) {
-	r.mu.Lock()
-	r.inFlight--
+	m := r.met()
 	if err != nil {
+		r.mu.Lock()
 		delete(r.cache, key)
+		r.mu.Unlock()
 	} else if ran {
-		r.runs++
+		m.Runs.Inc()
 	}
-	r.mu.Unlock()
+	m.InFlight.Dec()
 	e.res, e.err = res, err
 	close(e.done)
 }
@@ -167,11 +198,12 @@ func (r *Runner) fromBacking(key string) (sim.Result, bool) {
 	if r.Backing == nil {
 		return sim.Result{}, false
 	}
+	m := r.met()
+	t0 := time.Now()
 	res, ok := r.Backing.Get(key)
+	m.backingRead.ObserveSince(t0)
 	if ok {
-		r.mu.Lock()
-		r.backingHits++
-		r.mu.Unlock()
+		m.BackingHits.Inc()
 	}
 	return res, ok
 }
@@ -182,17 +214,19 @@ func (r *Runner) toBacking(key string, res sim.Result) {
 	if r.Backing == nil {
 		return
 	}
-	if err := r.Backing.Put(key, res); err != nil {
-		r.mu.Lock()
-		r.putErrors++
-		r.mu.Unlock()
+	m := r.met()
+	t0 := time.Now()
+	err := r.Backing.Put(key, res)
+	m.backingWrite.ObserveSince(t0)
+	if err != nil {
+		m.PutErrors.Inc()
 	}
 }
 
-func (r *Runner) addWall(d time.Duration) {
-	r.mu.Lock()
-	r.simWall += d
-	r.mu.Unlock()
+// observeRun feeds one executed simulation's wall cost into the sim_run
+// stage histogram (whose sum is the Stats.SimWall total).
+func (r *Runner) observeRun(res sim.Result) {
+	r.met().simRun.Observe(res.Timing.TotalSeconds())
 }
 
 // Result returns the memoized result for the options, consulting the
@@ -227,9 +261,10 @@ func (r *Runner) Result(ctx context.Context, opt sim.Options) (sim.Result, error
 			r.settle(key, e, sim.Result{}, err, false)
 			return sim.Result{}, err
 		}
-		t0 := time.Now()
 		res, err := sim.Run(opt)
-		r.addWall(time.Since(t0))
+		if err == nil {
+			r.observeRun(res)
+		}
 		r.settle(key, e, res, err, err == nil)
 		if err == nil {
 			r.toBacking(key, res)
@@ -284,10 +319,12 @@ func (r *Runner) Prefetch(ctx context.Context, opts []sim.Options) error {
 		return ctx.Err()
 	}
 	var firstErr error
-	t0 := time.Now()
 	sim.Batch(ctx, jobs, sim.BatchOptions{
 		Workers: r.Workers,
 		OnComplete: func(i int, res sim.Result, err error) {
+			if err == nil {
+				r.observeRun(res)
+			}
 			r.settle(keys[i], entries[i], res, err, err == nil)
 			if err == nil {
 				r.toBacking(keys[i], res)
@@ -296,7 +333,6 @@ func (r *Runner) Prefetch(ctx context.Context, opts []sim.Options) error {
 			}
 		},
 	})
-	r.addWall(time.Since(t0))
 	return firstErr
 }
 
@@ -333,17 +369,18 @@ func (r *Runner) Batch(ctx context.Context, opts []sim.Options) ([]sim.Result, [
 		jobEntries = append(jobEntries, e)
 	}
 	if len(jobs) > 0 {
-		t0 := time.Now()
 		sim.Batch(ctx, jobs, sim.BatchOptions{
 			Workers: r.Workers,
 			OnComplete: func(j int, res sim.Result, err error) {
+				if err == nil {
+					r.observeRun(res)
+				}
 				r.settle(jobKeys[j], jobEntries[j], res, err, err == nil)
 				if err == nil {
 					r.toBacking(jobKeys[j], res)
 				}
 			},
 		})
-		r.addWall(time.Since(t0))
 	}
 	for i, e := range entries {
 		select {
@@ -358,22 +395,18 @@ func (r *Runner) Batch(ctx context.Context, opts []sim.Options) ([]sim.Result, [
 }
 
 // Runs reports how many distinct simulations have executed successfully.
-func (r *Runner) Runs() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.runs
-}
+func (r *Runner) Runs() int { return int(r.met().Runs.Value()) }
 
 // Stats returns a snapshot of the Runner's counters.
 func (r *Runner) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	m := r.met()
 	return Stats{
-		Runs:        r.runs,
-		MemoHits:    r.memoHits,
-		BackingHits: r.backingHits,
-		PutErrors:   r.putErrors,
-		InFlight:    r.inFlight,
-		SimWall:     r.simWall,
+		Runs:        int(m.Runs.Value()),
+		MemoHits:    int(m.MemoHits.Value()),
+		Coalesced:   int(m.Coalesced.Value()),
+		BackingHits: int(m.BackingHits.Value()),
+		PutErrors:   int(m.PutErrors.Value()),
+		InFlight:    int(m.InFlight.Value()),
+		SimWall:     time.Duration(m.simRun.Sum() * float64(time.Second)),
 	}
 }

@@ -1,0 +1,258 @@
+// Package obs is the project's dependency-free observability core: atomic
+// counters, gauges and fixed-bucket latency histograms, optionally grouped
+// into labeled families, collected in a Registry that renders both the
+// Prometheus text exposition format (GET /metrics) and a JSON snapshot
+// (folded into /v1/stats). The paper this repository reproduces is an
+// accounting exercise — per-component iTLB/iL1 energy breakdowns — and the
+// serving tier holds itself to the same discipline: every layer that does
+// work exposes counters for it.
+//
+// Everything here is stdlib-only and safe for concurrent use. The hot-path
+// cost is one atomic add for counters/gauges and two atomic adds plus a
+// binary search over ~18 buckets for a histogram observation, so metrics
+// are cheap enough for per-request (not per-instruction) instrumentation.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programming error and are dropped).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets covers HTTP request latencies: 100µs to 60s.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// WideBuckets covers simulator stage timings, which span memo lookups
+// (sub-microsecond) to full cold simulations (seconds): 1µs to 60s.
+var WideBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 0.0005, 0.001, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram counts observations into fixed buckets and tracks their sum, so
+// it can render Prometheus histogram series and estimate quantiles. The
+// bucket bounds are upper bounds in ascending order; an implicit +Inf
+// bucket catches the tail. Observations are lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds an unregistered histogram (Registry.Histogram is the
+// usual constructor). bounds must be ascending; nil means DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value (for latency histograms, in seconds).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns how many observations have been recorded.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket holding the target rank, the same estimate Prometheus'
+// histogram_quantile computes. Observations in the +Inf bucket clamp to the
+// largest finite bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// labelKey joins label values into a map key; \xff cannot appear in
+// well-formed label values.
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+// CounterVec is a family of counters sharing a name, distinguished by label
+// values.
+type CounterVec struct {
+	labels []string
+
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// With returns the counter for the given label values, creating it on first
+// use. The number of values must match the family's label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %d label values for labels %v", len(values), v.labels))
+	}
+	k := labelKey(values)
+	v.mu.RLock()
+	c := v.m[k]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.m[k]; c == nil {
+		c = &Counter{}
+		v.m[k] = c
+	}
+	return c
+}
+
+// HistogramVec is a family of histograms sharing a name and buckets,
+// distinguished by label values.
+type HistogramVec struct {
+	labels []string
+	bounds []float64
+
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %d label values for labels %v", len(values), v.labels))
+	}
+	k := labelKey(values)
+	v.mu.RLock()
+	h := v.m[k]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[k]; h == nil {
+		h = NewHistogram(v.bounds)
+		v.m[k] = h
+	}
+	return h
+}
+
+// BuildInfo is what the running binary knows about itself.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"` // VCS commit, "+dirty" when modified
+}
+
+// ReadBuildInfo extracts the Go version and VCS revision stamped into the
+// binary (debug.ReadBuildInfo). Missing VCS data yields "unknown" — test
+// binaries and go-run builds are not always stamped.
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{GoVersion: "unknown", Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		info.Revision = rev + dirty
+	}
+	return info
+}

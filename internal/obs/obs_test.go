@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // dropped: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 6 {
+		t.Errorf("gauge = %d, want 6", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	// le=1 gets {0.5, 1}; le=2 adds {1.5, 2}; le=5 adds {3}; +Inf adds {10}.
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-18) > 1e-12 {
+		t.Errorf("sum = %v, want 18", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1, 10})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram must report 0")
+	}
+	// 100 observations uniform in (0, 0.1]: ranks land in the first two
+	// buckets, and interpolation keeps estimates inside each bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 0.01 || p50 > 0.1 {
+		t.Errorf("p50 = %v, want within (0.01, 0.1]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 || p99 > 0.1 {
+		t.Errorf("p99 = %v, want within [p50, 0.1]", p99)
+	}
+	// A spike in the +Inf bucket clamps to the largest finite bound.
+	big := NewHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		big.Observe(100)
+	}
+	if got := big.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// All mass in one bucket: the q-quantile moves linearly across it.
+	h := NewHistogram([]float64{10, 20})
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got, want := h.Quantile(0.5), 15.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p50 = %v, want %v (midpoint of (10,20])", got, want)
+	}
+	if got, want := h.Quantile(1.0), 20.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p100 = %v, want %v (bucket upper bound)", got, want)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h_seconds", "", nil)
+	vec := reg.CounterVec("v_total", "", "k")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+				vec.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	const want = workers * perWorker
+	if c.Value() != want || g.Value() != want || h.Count() != want ||
+		vec.With("a").Value() != want {
+		t.Errorf("lost updates: c=%d g=%d h=%d vec=%d, want %d",
+			c.Value(), g.Value(), h.Count(), vec.With("a").Value(), want)
+	}
+	if math.Abs(h.Sum()-want*0.001) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), want*0.001)
+	}
+}
+
+// TestWriteTextGolden pins the exposition format exactly: counters, gauges,
+// info metrics, histograms (with cumulative le buckets), and labeled
+// families with escaped values, in registration order.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("app_ops_total", "operations")
+	c.Add(3)
+	g := reg.Gauge("app_in_flight", "in-flight requests")
+	g.Set(2)
+	reg.GaugeFunc("app_uptime_seconds", "uptime", func() float64 { return 1.5 })
+	reg.Info("app_build_info", "build metadata",
+		Label{"go_version", "go1.24.0"}, Label{"revision", "abc123"})
+	h := reg.Histogram("app_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	vec := reg.CounterVec("app_requests_total", "requests", "endpoint", "code")
+	vec.With("/v1/sim", "200").Add(7)
+	vec.With(`/x"y\z`, "500").Inc()
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_ops_total operations
+# TYPE app_ops_total counter
+app_ops_total 3
+# HELP app_in_flight in-flight requests
+# TYPE app_in_flight gauge
+app_in_flight 2
+# HELP app_uptime_seconds uptime
+# TYPE app_uptime_seconds gauge
+app_uptime_seconds 1.5
+# HELP app_build_info build metadata
+# TYPE app_build_info gauge
+app_build_info{go_version="go1.24.0",revision="abc123"} 1
+# HELP app_latency_seconds latency
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 5.55
+app_latency_seconds_count 3
+# HELP app_requests_total requests
+# TYPE app_requests_total counter
+app_requests_total{endpoint="/v1/sim",code="200"} 7
+app_requests_total{endpoint="/x\"y\\z",code="500"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition drift:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "x").Add(42)
+	h := reg.Histogram("lat_seconds", "", []float64{1})
+	h.Observe(0.5)
+	vec := reg.CounterVec("req_total", "", "ep")
+	vec.With("/v1/sim").Add(9)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"a_total":                      42,
+		"lat_seconds_bucket{le=\"1\"}": 1,
+		"lat_seconds_count":            1,
+		"lat_seconds_sum":              0.5,
+		"req_total{ep=\"/v1/sim\"}":    9,
+	}
+	for k, want := range checks {
+		if got, ok := m[k]; !ok || got != want {
+			t.Errorf("parsed[%q] = %v (present=%v), want %v", k, got, ok, want)
+		}
+	}
+	if _, err := ParseText(strings.NewReader("garbage")); err == nil {
+		t.Error("malformed line must error")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Add(2)
+	h := reg.Histogram("h_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	vec := reg.CounterVec("v_total", "", "k")
+	vec.With("x").Inc()
+	snap := reg.Snapshot()
+	if snap["c_total"] != int64(2) {
+		t.Errorf("c_total = %v", snap["c_total"])
+	}
+	hs, ok := snap["h_seconds"].(map[string]any)
+	if !ok || hs["count"] != int64(1) {
+		t.Errorf("h_seconds snapshot = %v", snap["h_seconds"])
+	}
+	vs, ok := snap["v_total"].(map[string]int64)
+	if !ok || vs["k=x"] != 1 {
+		t.Errorf("v_total snapshot = %v", snap["v_total"])
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "")
+	mustPanic(t, "duplicate name", func() { reg.Counter("dup_total", "") })
+	mustPanic(t, "invalid name", func() { reg.Counter("bad name", "") })
+	mustPanic(t, "descending buckets", func() { NewHistogram([]float64{2, 1}) })
+	vec := reg.CounterVec("vec_total", "", "a", "b")
+	mustPanic(t, "label arity", func() { vec.With("only-one") })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestNilRegistry: libraries instrument unconditionally; a nil registry
+// yields working, unexported metrics.
+func TestNilRegistry(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("nil-registry counter must still count")
+	}
+	reg.GaugeFunc("y", "", func() float64 { return 0 }) // must not panic
+	h := reg.Histogram("z_seconds", "", nil)
+	h.Observe(0.1)
+	if h.Count() != 1 {
+		t.Error("nil-registry histogram must still observe")
+	}
+}
+
+func TestReadBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" || bi.Revision == "" {
+		t.Errorf("build info incomplete: %+v", bi)
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("go version %q does not look like a Go version", bi.GoVersion)
+	}
+}

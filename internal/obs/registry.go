@@ -1,0 +1,367 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind enumerates the metric types a Registry renders.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindCounterVec
+	kindHistogramVec
+	kindInfo
+)
+
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindHistogram, kindHistogramVec:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// metric is one registered family.
+type metric struct {
+	name string
+	help string
+	kind kind
+
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+	cvec      *CounterVec
+	hvec      *HistogramVec
+	info      []Label // constant labels of an info gauge (value always 1)
+}
+
+// Label is one name="value" pair.
+type Label struct{ Name, Value string }
+
+// Registry collects metrics and renders them. Metrics render in
+// registration order, which keeps /metrics output stable for golden tests
+// and diffs. The zero value is ready to use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(m *metric) {
+	if !validName(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names == nil {
+		r.names = make(map[string]bool)
+	}
+	if r.names[m.name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers and returns a counter. nil Registry receivers are
+// allowed everywhere and return unregistered (still functional) metrics, so
+// a library can instrument unconditionally and let callers opt into export.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	if r != nil {
+		r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	}
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	if r != nil {
+		r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge computed at render time (uptime, queue
+// depths owned elsewhere).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r != nil {
+		r.register(&metric{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+	}
+}
+
+// Histogram registers and returns a histogram (nil bounds = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	if r != nil {
+		r.register(&metric{name: name, help: help, kind: kindHistogram, histogram: h})
+	}
+	return h
+}
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, m: make(map[string]*Counter)}
+	if r != nil {
+		r.register(&metric{name: name, help: help, kind: kindCounterVec, cvec: v})
+	}
+	return v
+}
+
+// HistogramVec registers and returns a labeled histogram family (nil bounds
+// = DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{labels: labels, bounds: bounds, m: make(map[string]*Histogram)}
+	if r != nil {
+		r.register(&metric{name: name, help: help, kind: kindHistogramVec, hvec: v})
+	}
+	return v
+}
+
+// Info registers a gauge that is always 1, carrying constant labels (the
+// Prometheus "info metric" idiom, e.g. build metadata).
+func (r *Registry) Info(name, help string, labels ...Label) {
+	if r != nil {
+		r.register(&metric{name: name, help: help, kind: kindInfo, info: labels})
+	}
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="1",b="2"} (empty for no labels).
+func labelString(names []string, values []string, extra ...Label) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	for i, l := range extra {
+		if i > 0 || len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortedKeys returns the vec keys in deterministic order.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	// Histogram series carry the le label; merge it into any existing set.
+	open := "{"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%sle=\"%s\"} %d\n", name, open, formatValue(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind.promType())
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatValue(m.gaugeFn()))
+		case kindInfo:
+			fmt.Fprintf(bw, "%s%s 1\n", m.name, labelString(nil, nil, m.info...))
+		case kindHistogram:
+			writeHistogram(bw, m.name, "", m.histogram)
+		case kindCounterVec:
+			m.cvec.mu.RLock()
+			for _, k := range sortedKeys(m.cvec.m) {
+				values := strings.Split(k, "\xff")
+				fmt.Fprintf(bw, "%s%s %d\n", m.name,
+					labelString(m.cvec.labels, values), m.cvec.m[k].Value())
+			}
+			m.cvec.mu.RUnlock()
+		case kindHistogramVec:
+			m.hvec.mu.RLock()
+			for _, k := range sortedKeys(m.hvec.m) {
+				values := strings.Split(k, "\xff")
+				writeHistogram(bw, m.name, labelString(m.hvec.labels, values), m.hvec.m[k])
+			}
+			m.hvec.mu.RUnlock()
+		}
+	}
+	return bw.Flush()
+}
+
+// histogramSnapshot is the JSON projection of one histogram.
+func histogramSnapshot(h *Histogram) map[string]any {
+	return map[string]any{
+		"count": h.Count(),
+		"sum":   h.Sum(),
+		"p50":   h.Quantile(0.50),
+		"p90":   h.Quantile(0.90),
+		"p99":   h.Quantile(0.99),
+	}
+}
+
+// vecLabelKey renders "a=1,b=2" for snapshot maps.
+func vecLabelKey(names, values []string) string {
+	parts := make([]string, len(names))
+	for i := range names {
+		parts[i] = names[i] + "=" + values[i]
+	}
+	return strings.Join(parts, ",")
+}
+
+// Snapshot returns every metric as a JSON-marshalable map: counters and
+// gauges as numbers, histograms as {count, sum, p50, p90, p99}, labeled
+// families as nested maps keyed "label=value,...". This is what /v1/stats
+// folds in under "metrics".
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make(map[string]any, len(metrics))
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.counter.Value()
+		case kindGauge:
+			out[m.name] = m.gauge.Value()
+		case kindGaugeFunc:
+			out[m.name] = m.gaugeFn()
+		case kindInfo:
+			labels := make(map[string]string, len(m.info))
+			for _, l := range m.info {
+				labels[l.Name] = l.Value
+			}
+			out[m.name] = labels
+		case kindHistogram:
+			out[m.name] = histogramSnapshot(m.histogram)
+		case kindCounterVec:
+			sub := make(map[string]int64)
+			m.cvec.mu.RLock()
+			for k, c := range m.cvec.m {
+				sub[vecLabelKey(m.cvec.labels, strings.Split(k, "\xff"))] = c.Value()
+			}
+			m.cvec.mu.RUnlock()
+			out[m.name] = sub
+		case kindHistogramVec:
+			sub := make(map[string]any)
+			m.hvec.mu.RLock()
+			for k, h := range m.hvec.m {
+				sub[vecLabelKey(m.hvec.labels, strings.Split(k, "\xff"))] = histogramSnapshot(h)
+			}
+			m.hvec.mu.RUnlock()
+			out[m.name] = sub
+		}
+	}
+	return out
+}
+
+// Handler serves the registry in the text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// ParseText reads a text-exposition document (as served by /metrics) into a
+// flat map from series — `name` or `name{label="v",...}` exactly as
+// rendered — to value. Comment and blank lines are skipped. It is the
+// scrape half used by cmd/itlbload to report server-side deltas.
+func ParseText(rd io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value follows the last space; label values may contain spaces.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: malformed metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in line %q: %w", line, err)
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	return out, sc.Err()
+}

@@ -25,6 +25,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"itlbcfr/internal/addr"
 	"itlbcfr/internal/bpred"
@@ -137,6 +138,20 @@ type Result struct {
 	ContextSwitches uint64
 	Remaps          uint64
 	RemapsDeferred  uint64 // remaps refused because the page was pinned
+
+	// WallSeconds is the host wall-clock time the producing Run call took —
+	// a phase timer for observability, not a simulated quantity. ResetStats
+	// zeroes it with the rest of the statistics.
+	WallSeconds float64
+}
+
+// InstPerSec returns the simulator's own throughput for the producing Run
+// call: committed instructions per host wall second.
+func (r Result) InstPerSec() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.WallSeconds
 }
 
 // IL1MissRate returns the instruction-cache miss rate over fetch accesses.
@@ -242,10 +257,12 @@ func (m *Machine) ResetStats() {
 // Run executes until n non-stub instructions have committed (beyond any
 // prior calls) and returns the accumulated result.
 func (m *Machine) Run(n uint64) Result {
+	t0 := time.Now()
 	m.runTarget = n
 	for m.res.Committed < n {
 		m.stepGroup()
 	}
+	m.res.WallSeconds += time.Since(t0).Seconds()
 	m.res.Cycles = m.frontCycle - m.cycleBase
 	if b := uint64(m.backCycle - m.backBase); b > m.res.Cycles {
 		m.res.Cycles = b

@@ -72,16 +72,19 @@ func (q BatchRequest) jobs() ([]sim.Options, error) {
 // completion order; Index ties each back to its position in the expanded job
 // list and Key is the canonical store key (the same content address /v1/sim
 // reports and the disk store files under), so clients can dedupe and resume.
-// Exactly one of Result and Error is set.
+// RequestID repeats the stream's X-Request-ID on every line, so a record
+// archived away from its HTTP envelope still names the request that
+// produced it. Exactly one of Result and Error is set.
 type BatchRecord struct {
-	Index  int         `json:"index"`
-	Key    string      `json:"key"`
-	Bench  string      `json:"bench"`
-	Scheme string      `json:"scheme"`
-	Style  string      `json:"style"`
-	Cached bool        `json:"cached,omitempty"`
-	Result *sim.Result `json:"result,omitempty"`
-	Error  string      `json:"error,omitempty"`
+	Index     int         `json:"index"`
+	Key       string      `json:"key"`
+	RequestID string      `json:"request_id,omitempty"`
+	Bench     string      `json:"bench"`
+	Scheme    string      `json:"scheme"`
+	Style     string      `json:"style"`
+	Cached    bool        `json:"cached,omitempty"`
+	Result    *sim.Result `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
 }
 
 // handleBatch streams one record per job as it completes. Concurrency is
@@ -106,11 +109,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch expands to %d simulations (limit %d)", len(jobs), MaxBatchJobs))
 		return
 	}
-	s.batches.Add(1)
-	s.batchJobs.Add(int64(len(jobs)))
+	s.met.batches.Inc()
+	s.met.batchJobs.Add(int64(len(jobs)))
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	// ServeHTTP set the response's X-Request-ID before routing here; repeat
+	// it on every streamed record.
+	rid := w.Header().Get(requestIDHeader)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Batch-Jobs", strconv.Itoa(len(jobs)))
@@ -136,7 +142,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				recs <- s.runBatchJob(ctx, i, jobs[i])
+				recs <- s.runBatchJob(ctx, rid, i, jobs[i])
 			}
 		}()
 	}
@@ -159,22 +165,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // runBatchJob resolves one job: memo/disk hits cost no simulation slot,
 // everything else waits for a slot under the stream's context.
-func (s *Server) runBatchJob(ctx context.Context, i int, opt sim.Options) BatchRecord {
+func (s *Server) runBatchJob(ctx context.Context, rid string, i int, opt sim.Options) BatchRecord {
 	rec := BatchRecord{
-		Index:  i,
-		Key:    s.cfg.Runner.Key(opt),
-		Bench:  opt.Profile.Name,
-		Scheme: opt.Scheme.String(),
-		Style:  opt.Style.String(),
+		Index:     i,
+		Key:       s.cfg.Runner.Key(opt),
+		RequestID: rid,
+		Bench:     opt.Profile.Name,
+		Scheme:    opt.Scheme.String(),
+		Style:     opt.Style.String(),
 	}
 	if res, ok := s.cfg.Runner.Cached(opt); ok {
 		rec.Cached, rec.Result = true, &res
 		return rec
 	}
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		rec.Error = fmt.Sprintf("no simulation slot: %v", ctx.Err())
+	if err := s.acquireSlot(ctx); err != nil {
+		rec.Error = fmt.Sprintf("no simulation slot: %v", err)
 		return rec
 	}
 	defer s.release()

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+
+	"itlbcfr/internal/obs"
+)
+
+// httpMetrics is the server's instrument panel, registered under
+// itlb_http_* in the server's obs.Registry. requests is the unlabeled
+// total behind /v1/stats; requestsByEndpoint fans the same events out by
+// route pattern and status code for /metrics.
+type httpMetrics struct {
+	requests           *obs.Counter // unregistered: derivable from the vec
+	requestsByEndpoint *obs.CounterVec
+	latency            *obs.HistogramVec
+	inFlight           *obs.Gauge
+	semWait            *obs.Histogram
+	semWaiting         *obs.Gauge
+	semInUse           *obs.Gauge
+	batches            *obs.Counter
+	batchJobs          *obs.Counter
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: &obs.Counter{},
+		requestsByEndpoint: reg.CounterVec("itlb_http_requests_total",
+			"HTTP requests by route pattern and status code", "endpoint", "code"),
+		latency: reg.HistogramVec("itlb_http_request_seconds",
+			"HTTP request latency by route pattern", obs.DefBuckets, "endpoint"),
+		inFlight: reg.Gauge("itlb_http_in_flight", "requests currently being served"),
+		semWait: reg.Histogram("itlb_http_sem_wait_seconds",
+			"time spent waiting for a simulation slot", obs.DefBuckets),
+		semWaiting: reg.Gauge("itlb_http_sem_waiting",
+			"requests currently waiting for a simulation slot"),
+		semInUse: reg.Gauge("itlb_http_sem_in_use", "simulation slots currently held"),
+		batches:  reg.Counter("itlb_http_batches_total", "accepted /v1/batch requests"),
+		batchJobs: reg.Counter("itlb_http_batch_jobs_total",
+			"simulations expanded from accepted /v1/batch requests"),
+	}
+}
+
+// requestIDHeader names the header the request ID travels in, both ways.
+const requestIDHeader = "X-Request-ID"
+
+// requestID returns the caller's X-Request-ID when it is usable as-is, or
+// a freshly generated one. Propagated IDs are restricted to a safe charset
+// and length so a hostile client cannot inject log fields or bloat every
+// access line.
+func requestID(r *http.Request) string {
+	id := r.Header.Get(requestIDHeader)
+	if id != "" && len(id) <= 64 && cleanRequestID(id) {
+		return id
+	}
+	var b [8]byte
+	rand.Read(b[:]) // never fails (crypto/rand panics on a broken source)
+	return hex.EncodeToString(b[:])
+}
+
+func cleanRequestID(s string) bool {
+	for _, c := range []byte(s) {
+		ok := c == '-' || c == '_' || c == '.' || c == '/' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter records the status code and body size while passing writes
+// through. It always implements http.Flusher so the batch streamer keeps
+// flushing NDJSON records through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Status returns the response code (200 when the handler never set one).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

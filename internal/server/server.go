@@ -8,13 +8,20 @@
 //
 // Endpoints:
 //
-//	GET  /healthz           liveness + uptime
+//	GET  /healthz           liveness + uptime + build identity
+//	GET  /metrics           Prometheus text exposition (internal/obs)
 //	GET  /v1/specs          every table/figure spec (id, title, cell count)
 //	GET  /v1/tables/{id}    one regenerated table (?format=text|json|csv)
 //	POST /v1/sim            one simulation configuration -> full result
 //	POST /v1/batch          many configurations (list and/or declarative
 //	                        sweep) -> NDJSON stream in completion order
-//	GET  /v1/stats          runner/store/server counters
+//	GET  /v1/stats          runner/store/server counters + metrics snapshot
+//
+// Every response carries an X-Request-ID (the caller's, when propagatable,
+// else generated), each request emits one structured access-log line
+// through Config.Logger, and per-endpoint counters/latency histograms feed
+// GET /metrics — the serving tier accounts for its own work the way the
+// paper accounts for iTLB energy.
 //
 // Simulations are CPU-bound and non-interruptible once started, so the
 // server bounds how many run concurrently (Config.MaxConcurrent) and
@@ -30,16 +37,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"itlbcfr/internal/cache"
 	"itlbcfr/internal/core"
 	"itlbcfr/internal/exp"
+	"itlbcfr/internal/obs"
 	"itlbcfr/internal/sim"
 	"itlbcfr/internal/store"
 	"itlbcfr/internal/tlb"
@@ -67,6 +76,16 @@ type Config struct {
 	// ShutdownGrace bounds how long Serve waits for in-flight requests
 	// after its context is canceled (0 = 5s).
 	ShutdownGrace time.Duration
+
+	// Registry collects the server's metrics for GET /metrics (nil = a
+	// fresh private registry). The Runner's metrics are registered here
+	// too unless the Runner already has a set.
+	Registry *obs.Registry
+
+	// Logger receives one structured access-log line per request plus
+	// error-path events (nil = discard; the daemon passes a real logger,
+	// tests stay quiet).
+	Logger *slog.Logger
 }
 
 // Server is the HTTP front end. Create with New.
@@ -75,11 +94,10 @@ type Server struct {
 	mux   *http.ServeMux
 	sem   chan struct{}
 	start time.Time
-
-	requests  atomic.Int64
-	inFlight  atomic.Int64
-	batches   atomic.Int64
-	batchJobs atomic.Int64
+	log   *slog.Logger
+	reg   *obs.Registry
+	met   *httpMetrics
+	build obs.BuildInfo
 }
 
 // New builds a Server around a shared Runner.
@@ -93,13 +111,34 @@ func New(cfg Config) *Server {
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = 5 * time.Second
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		start: time.Now(),
+		log:   cfg.Logger,
+		reg:   cfg.Registry,
+		met:   newHTTPMetrics(cfg.Registry),
+		build: obs.ReadBuildInfo(),
+	}
+	s.reg.Info("itlb_build_info", "build metadata of the serving binary",
+		obs.Label{Name: "go_version", Value: s.build.GoVersion},
+		obs.Label{Name: "revision", Value: s.build.Revision})
+	s.reg.GaugeFunc("itlb_uptime_seconds", "seconds since the server was built",
+		func() float64 { return time.Since(s.start).Seconds() })
+	// Export the Runner's counters/stage timings through the same registry
+	// unless the caller wired its own metric set already.
+	if cfg.Runner.Metrics == nil {
+		cfg.Runner.Metrics = exp.NewMetrics(s.reg)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.HandleFunc("GET /v1/specs", s.handleSpecs)
 	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTable)
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
@@ -111,12 +150,36 @@ func New(cfg Config) *Server {
 // Handler returns the server's HTTP handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s }
 
-// ServeHTTP implements http.Handler with request counting.
+// ServeHTTP implements http.Handler: it assigns/propagates the request ID,
+// counts and times the request per endpoint, and emits one structured
+// access-log line when it completes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
-	s.mux.ServeHTTP(w, r)
+	t0 := time.Now()
+	// The route pattern labels the metrics so path parameters ({id}) do
+	// not explode the series space.
+	_, endpoint := s.mux.Handler(r)
+	if endpoint == "" {
+		endpoint = "unmatched"
+	}
+	rid := requestID(r)
+	w.Header().Set(requestIDHeader, rid)
+	sw := &statusWriter{ResponseWriter: w}
+	s.met.requests.Inc()
+	s.met.inFlight.Inc()
+	defer s.met.inFlight.Dec()
+	s.mux.ServeHTTP(sw, r)
+	d := time.Since(t0)
+	s.met.requestsByEndpoint.With(endpoint, strconv.Itoa(sw.Status())).Inc()
+	s.met.latency.With(endpoint).Observe(d.Seconds())
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("id", rid),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("endpoint", endpoint),
+		slog.Int("status", sw.Status()),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("duration", d),
+		slog.String("remote", r.RemoteAddr))
 }
 
 // Serve accepts connections on l until ctx is canceled, then shuts down
@@ -164,19 +227,39 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }
 
-// acquire takes a simulation slot, or reports false with a 503 (queue full)
-// or 504 (deadline passed while queued) already written.
-func (s *Server) acquire(ctx context.Context, w http.ResponseWriter) bool {
+// acquireSlot takes a simulation slot, instrumenting the wait (gauge while
+// queued, histogram of the wait itself, in-use gauge while held). The
+// caller must release() after a nil return.
+func (s *Server) acquireSlot(ctx context.Context) error {
+	t0 := time.Now()
+	s.met.semWaiting.Inc()
+	defer func() {
+		s.met.semWaiting.Dec()
+		s.met.semWait.ObserveSince(t0)
+	}()
 	select {
 	case s.sem <- struct{}{}:
-		return true
+		s.met.semInUse.Inc()
+		return nil
 	case <-ctx.Done():
-		writeError(w, statusFor(ctx.Err()), fmt.Errorf("no simulation slot: %w", ctx.Err()))
-		return false
+		return ctx.Err()
 	}
 }
 
-func (s *Server) release() { <-s.sem }
+// acquire is acquireSlot with the 503 (queue full) or 504 (deadline passed
+// while queued) response already written on failure.
+func (s *Server) acquire(ctx context.Context, w http.ResponseWriter) bool {
+	if err := s.acquireSlot(ctx); err != nil {
+		writeError(w, statusFor(err), fmt.Errorf("no simulation slot: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) release() {
+	s.met.semInUse.Dec()
+	<-s.sem
+}
 
 // statusFor maps a compute error to an HTTP status.
 func statusFor(err error) int {
@@ -220,9 +303,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_s":  time.Since(s.start).Seconds(),
-		"in_flight": s.inFlight.Load(),
+		"status":     "ok",
+		"uptime_s":   time.Since(s.start).Seconds(),
+		"in_flight":  s.met.inFlight.Value(),
+		"go_version": s.build.GoVersion,
+		"revision":   s.build.Revision,
 	})
 }
 
@@ -366,28 +451,32 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SimResponse{Key: key, Result: res})
 }
 
-// StatsResponse aggregates every counter the service keeps.
+// StatsResponse aggregates every counter the service keeps. Metrics is the
+// full obs.Registry snapshot — the JSON twin of GET /metrics, histograms
+// reduced to {count, sum, p50, p90, p99}.
 type StatsResponse struct {
-	UptimeSeconds float64      `json:"uptime_s"`
-	Requests      int64        `json:"requests"`
-	InFlight      int64        `json:"in_flight"`
-	Batches       int64        `json:"batches"`
-	BatchJobs     int64        `json:"batch_jobs"`
-	SimWallSecs   float64      `json:"sim_wall_s"`
-	Runner        exp.Stats    `json:"runner"`
-	Store         *store.Stats `json:"store,omitempty"`
+	UptimeSeconds float64        `json:"uptime_s"`
+	Requests      int64          `json:"requests"`
+	InFlight      int64          `json:"in_flight"`
+	Batches       int64          `json:"batches"`
+	BatchJobs     int64          `json:"batch_jobs"`
+	SimWallSecs   float64        `json:"sim_wall_s"`
+	Runner        exp.Stats      `json:"runner"`
+	Store         *store.Stats   `json:"store,omitempty"`
+	Metrics       map[string]any `json:"metrics,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rs := s.cfg.Runner.Stats()
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		InFlight:      s.inFlight.Load(),
-		Batches:       s.batches.Load(),
-		BatchJobs:     s.batchJobs.Load(),
+		Requests:      s.met.requests.Value(),
+		InFlight:      s.met.inFlight.Value(),
+		Batches:       s.met.batches.Value(),
+		BatchJobs:     s.met.batchJobs.Value(),
 		SimWallSecs:   rs.SimWall.Seconds(),
 		Runner:        rs,
+		Metrics:       s.reg.Snapshot(),
 	}
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()

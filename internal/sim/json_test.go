@@ -25,6 +25,10 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if res.Committed == 0 || res.Engine.Lookups == 0 || res.ITLB.Walks == 0 {
 		t.Fatalf("test simulation too trivial to exercise the encoding: %+v", res)
 	}
+	if res.Timing.MeasureSeconds <= 0 || res.Timing.WarmupSeconds <= 0 ||
+		res.Timing.InstPerSec <= 0 {
+		t.Errorf("phase timers not populated: %+v", res.Timing)
+	}
 
 	b, err := json.Marshal(res)
 	if err != nil {
@@ -47,7 +51,7 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if _, nested := m["Result"]; nested {
 		t.Error("embedded pipeline.Result marshaled as a nested object")
 	}
-	for _, want := range []string{"Committed", "Cycles", "EnergyMJ", "bench", "scheme", "style"} {
+	for _, want := range []string{"Committed", "Cycles", "EnergyMJ", "bench", "scheme", "style", "timing"} {
 		if _, ok := m[want]; !ok {
 			t.Errorf("JSON missing field %q", want)
 		}

@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"itlbcfr/internal/addr"
 	"itlbcfr/internal/bpred"
@@ -73,6 +74,27 @@ type Options struct {
 	Tech *energy.Tech
 }
 
+// Timing is one run's wall-clock phase breakdown — how long the simulator
+// itself took, not a simulated quantity. It rides along in Result so every
+// caller (CLI, batch stream, disk store) can see where host time went
+// without re-running anything.
+type Timing struct {
+	// SetupSeconds covers workload generation, compilation and machine
+	// construction.
+	SetupSeconds float64 `json:"setup_s"`
+	// WarmupSeconds and MeasureSeconds are the two machine.Run phases.
+	WarmupSeconds  float64 `json:"warmup_s"`
+	MeasureSeconds float64 `json:"measure_s"`
+	// InstPerSec is committed instructions per wall second of the measure
+	// phase — the simulator's own throughput.
+	InstPerSec float64 `json:"inst_per_s"`
+}
+
+// TotalSeconds is the full wall cost of the run.
+func (t Timing) TotalSeconds() float64 {
+	return t.SetupSeconds + t.WarmupSeconds + t.MeasureSeconds
+}
+
 // Result bundles the pipeline outcome with identification. It round-trips
 // losslessly through JSON (the disk-backed result store and the HTTP API
 // both depend on that): every field is exported, the embedded pipeline
@@ -83,6 +105,7 @@ type Result struct {
 	Bench  string      `json:"bench"`
 	Scheme core.Scheme `json:"scheme"`
 	Style  cache.Style `json:"style"`
+	Timing Timing      `json:"timing"`
 }
 
 // Validate checks the options without running anything: page geometry,
@@ -125,6 +148,7 @@ func Run(opt Options) (Result, error) {
 	if err := opt.Validate(); err != nil {
 		return Result{}, err
 	}
+	setupStart := time.Now()
 
 	n := opt.Instructions
 	if n == 0 {
@@ -183,13 +207,17 @@ func Run(opt Options) (Result, error) {
 		return Result{}, err
 	}
 
+	timing := Timing{SetupSeconds: time.Since(setupStart).Seconds()}
 	if warm > 0 {
-		machine.Run(warm)
+		wres := machine.Run(warm)
+		timing.WarmupSeconds = wres.WallSeconds
 		machine.ResetStats()
 		meter.Reset()
 		itlb.ResetStats()
 	}
 	res := machine.Run(n)
+	timing.MeasureSeconds = res.WallSeconds
+	timing.InstPerSec = res.InstPerSec()
 	meter.AddStubs(res.Stubs)
 	res.EnergyMJ = meter.TotalMJ()
 	res.ITLB = itlb.Stats()
@@ -198,7 +226,8 @@ func Run(opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %d stale CFR uses on the correct path (%s/%s/%s): translation contract violated",
 			res.Engine.StaleUses, opt.Profile.Name, opt.Scheme, opt.Style)
 	}
-	return Result{Result: res, Bench: opt.Profile.Name, Scheme: opt.Scheme, Style: opt.Style}, nil
+	return Result{Result: res, Bench: opt.Profile.Name, Scheme: opt.Scheme,
+		Style: opt.Style, Timing: timing}, nil
 }
 
 // MustRun is Run for known-good options.
