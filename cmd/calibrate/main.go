@@ -4,6 +4,11 @@
 //
 //	go run ./cmd/calibrate [-n steps] [-o report.txt]
 //
+// With -synth it instead writes a deterministic synthesized instruction
+// trace (binary ITRC or NDJSON) for the daemon's POST /v1/traces and exits:
+//
+//	go run ./cmd/calibrate -synth app.itrc -synth-insts 500000 -synth-seed 7
+//
 // Every profile is validated through sim.Options.Validate — the same path
 // sim.Run, the result store and the HTTP API use — before any measurement
 // runs, so a profile that calibrates here also simulates everywhere else.
@@ -25,8 +30,35 @@ import (
 	"itlbcfr/internal/isa"
 	"itlbcfr/internal/program"
 	"itlbcfr/internal/sim"
+	"itlbcfr/internal/trace"
 	"itlbcfr/internal/workload"
 )
+
+// synthesize writes one deterministic trace — the upload fodder for the
+// daemon's POST /v1/traces — in the binary ITRC or NDJSON wire form.
+func synthesize(path, format string, cfg trace.SynthConfig) error {
+	w, closeOut, err := cliutil.OpenOutput(path)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+	var st trace.Stats
+	switch format {
+	case "binary":
+		st, err = trace.SynthesizeTo(w, cfg)
+	case "ndjson":
+		st, err = trace.Synthesize(trace.NewTextWriter(w), cfg)
+	default:
+		return fmt.Errorf("calibrate: unknown -synth-format %q (want binary or ndjson)", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"synthesized %d instructions (%d branches, %d taken, %d pages) seed=%d format=%s -> %s\n",
+		st.Instructions, st.Branches, st.Taken, st.Pages, cfg.Seed, format, path)
+	return nil
+}
 
 // target is the paper's published characteristic set for one benchmark.
 type target struct {
@@ -51,9 +83,21 @@ var targets = map[string]target{
 func main() {
 	n := flag.Int("n", 1_000_000, "instructions to execute per benchmark")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
+	synth := flag.String("synth", "", "synthesize a deterministic instruction trace to this file and exit (\"-\" = stdout)")
+	synthInsts := flag.Uint64("synth-insts", 100_000, "instructions in the synthesized trace")
+	synthSeed := flag.Uint64("synth-seed", 1, "seed of the synthesized trace")
+	synthFormat := flag.String("synth-format", "binary", "synthesized trace format: binary, ndjson")
 	checkVersion := cliutil.VersionFlag()
 	flag.Parse()
 	checkVersion()
+
+	if *synth != "" {
+		if err := synthesize(*synth, *synthFormat,
+			trace.SynthConfig{Seed: *synthSeed, Instructions: *synthInsts}); err != nil {
+			cliutil.Fail(err)
+		}
+		return
+	}
 
 	ctx, stop := cliutil.SignalContext(0)
 	defer stop()

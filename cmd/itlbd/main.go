@@ -12,7 +12,14 @@
 //
 // Endpoints (see internal/server): GET /healthz, GET /metrics (Prometheus
 // text exposition), GET /v1/specs, GET /v1/tables/{id}?format=text|json|csv,
-// POST /v1/sim, POST /v1/batch, GET /v1/stats.
+// POST /v1/sim, POST /v1/batch, GET /v1/stats, POST /v1/traces (upload an
+// instruction trace; ?name= registers an alias), GET /v1/traces (list).
+// Uploaded traces run through /v1/sim and /v1/batch by alias, bare key, or
+// "trace:<key>":
+//
+//	itlbcfr-calibrate -synth /tmp/app.itrc -synth-insts 500000
+//	curl -s --data-binary @/tmp/app.itrc 'localhost:8080/v1/traces?name=app'
+//	curl -s -X POST localhost:8080/v1/sim -d '{"bench":"app","scheme":"IA"}'
 //
 //	curl -s localhost:8080/v1/tables/6
 //	curl -s localhost:8080/metrics
@@ -49,6 +56,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -58,6 +66,7 @@ import (
 	"itlbcfr/internal/server"
 	"itlbcfr/internal/sim"
 	"itlbcfr/internal/store"
+	"itlbcfr/internal/trace"
 )
 
 // debugMux serves the profiler endpoints net/http/pprof normally hangs on
@@ -79,6 +88,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this separate address (empty = disabled)")
 	cacheDir := flag.String("cache", "", "disk-backed result store directory (empty = memory only)")
+	tracesDir := flag.String("traces", "", "trace store directory enabling POST/GET /v1/traces (empty = <cache>/traces when -cache is set, else disabled)")
+	traceLimit := flag.Int64("trace-limit", server.DefaultTraceUploadLimit, "max bytes per trace upload")
 	n := flag.Uint64("n", sim.DefaultInstructions, "committed instructions per simulation")
 	warm := flag.Uint64("warmup", sim.DefaultWarmup, "warm-up instructions before measurement")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (tables and requests)")
@@ -115,14 +126,29 @@ func main() {
 		runner.Backing = st
 	}
 
+	tdir := *tracesDir
+	if tdir == "" && *cacheDir != "" {
+		tdir = filepath.Join(*cacheDir, "traces")
+	}
+	var ts *trace.Store
+	if tdir != "" {
+		var err error
+		if ts, err = trace.OpenStore(tdir); err != nil {
+			log.Error("opening trace store failed", "dir", tdir, "err", err)
+			os.Exit(1)
+		}
+	}
+
 	srv := server.New(server.Config{
-		Runner:         runner,
-		Store:          st,
-		MaxConcurrent:  *parallel,
-		RequestTimeout: *reqTimeout,
-		ShutdownGrace:  *grace,
-		Registry:       reg,
-		Logger:         log,
+		Runner:           runner,
+		Store:            st,
+		Traces:           ts,
+		TraceUploadLimit: *traceLimit,
+		MaxConcurrent:    *parallel,
+		RequestTimeout:   *reqTimeout,
+		ShutdownGrace:    *grace,
+		Registry:         reg,
+		Logger:           log,
 	})
 
 	ctx, stop := cliutil.SignalContext(0)
@@ -156,7 +182,7 @@ func main() {
 	log.Info("itlbd listening",
 		"addr", l.Addr().String(),
 		"n", *n, "warmup", *warm, "parallel", *parallel,
-		"cache", *cacheDir, "req_timeout", *reqTimeout, "grace", *grace,
+		"cache", *cacheDir, "traces", tdir, "req_timeout", *reqTimeout, "grace", *grace,
 		"go_version", bi.GoVersion, "revision", bi.Revision)
 
 	if err := srv.Serve(ctx, l); err != nil {

@@ -1,7 +1,9 @@
 // Command itlbload drives a running itlbd daemon the way bulk traffic
 // would: a configurable mix of single simulations (POST /v1/sim), streamed
-// batch sweeps (POST /v1/batch) and table regenerations (GET /v1/tables),
-// issued from concurrent workers for a fixed duration. It reports per-kind
+// batch sweeps (POST /v1/batch), table regenerations (GET /v1/tables) and
+// trace-workload simulations (a synthesized trace uploaded once via
+// POST /v1/traces, then simulated by its "trace:<key>" name), issued from
+// concurrent workers for a fixed duration. It reports per-kind
 // throughput and latency quantiles, plus the server-side counter deltas
 // (/v1/stats before vs after) that show how much of the load was absorbed
 // by the memo and the disk store, and the /metrics counter deltas (every
@@ -22,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -38,6 +41,7 @@ import (
 	"itlbcfr/internal/cliutil"
 	"itlbcfr/internal/exp"
 	"itlbcfr/internal/server"
+	"itlbcfr/internal/trace"
 )
 
 // opKind enumerates the request types the mix can weight.
@@ -47,10 +51,11 @@ const (
 	opSim opKind = iota
 	opBatch
 	opTable
+	opTrace
 	numOps
 )
 
-var opNames = [numOps]string{"sim", "batch", "table"}
+var opNames = [numOps]string{"sim", "batch", "table", "trace"}
 
 // parseMix reads "sim=8,batch=1,table=1" into per-kind weights.
 func parseMix(s string) ([numOps]int, error) {
@@ -76,7 +81,7 @@ func parseMix(s string) ([numOps]int, error) {
 			}
 		}
 		if !found {
-			return w, fmt.Errorf("unknown mix kind %q (sim, batch, table)", name)
+			return w, fmt.Errorf("unknown mix kind %q (sim, batch, table, trace)", name)
 		}
 	}
 	total := 0
@@ -138,7 +143,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "itlbd address (host:port or full URL)")
 	conc := flag.Int("c", 4, "concurrent workers")
 	dur := flag.Duration("d", 10*time.Second, "run duration")
-	mixSpec := flag.String("mix", "sim=8,batch=1,table=1", "operation weights (sim=N,batch=N,table=N)")
+	mixSpec := flag.String("mix", "sim=8,batch=1,table=1,trace=1", "operation weights (sim=N,batch=N,table=N,trace=N)")
 	benches := flag.String("benches", "all", "benchmark list for the request pool")
 	schemes := flag.String("schemes", "Base,IA", "scheme list for the request pool")
 	styles := flag.String("styles", "VI-PT", "style list for the request pool")
@@ -233,6 +238,40 @@ func main() {
 	if err != nil {
 		cliutil.Fail(fmt.Errorf("daemon not reachable at %s: %w", *addr, err))
 	}
+	// Trace operations exercise the trace-workload path: one deterministic
+	// trace is synthesized and uploaded once up front (content addressing
+	// makes re-runs a free dedupe), then every trace op is a /v1/sim against
+	// its "trace:<key>" name. A daemon without a trace store degrades the
+	// mix instead of failing the run.
+	var tracePool []server.SimRequest
+	if mix[opTrace] > 0 {
+		var buf bytes.Buffer
+		if _, err := trace.SynthesizeTo(&buf, trace.SynthConfig{
+			Seed: uint64(*seed), Instructions: max(*n, 50_000),
+		}); err != nil {
+			cliutil.Fail(err)
+		}
+		uctx, ucancel := context.WithTimeout(context.Background(), 15*time.Second)
+		info, err := c.UploadTrace(uctx, &buf, "")
+		ucancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itlbload: trace upload failed (%v); dropping trace ops from the mix\n", err)
+			mix[opTrace] = 0
+			total := 0
+			for _, n := range mix {
+				total += n
+			}
+			if total == 0 {
+				cliutil.Fail(fmt.Errorf("mix had only trace ops and the daemon has no trace store"))
+			}
+		} else {
+			for _, sr := range pool {
+				sr.Bench = info.Bench
+				tracePool = append(tracePool, sr)
+			}
+		}
+	}
+
 	before, err := stats()
 	if err != nil {
 		cliutil.Fail(err)
@@ -251,7 +290,7 @@ func main() {
 				kind := pick(rng, mix)
 				opCtx, cancel := context.WithTimeout(ctx, *reqTimeout)
 				t0 := time.Now()
-				jobs, err := runOp(opCtx, c, kind, rng, pool, sweep, tableIDs)
+				jobs, err := runOp(opCtx, c, kind, rng, pool, tracePool, sweep, tableIDs)
 				cancel()
 				s := sample{kind: kind, d: time.Since(t0), jobs: jobs}
 				if err != nil {
@@ -291,8 +330,11 @@ func main() {
 // runOp issues one operation, returning how many simulation configurations
 // it covered (for single-request-equivalent throughput).
 func runOp(ctx context.Context, c *client.Client, kind opKind, rng *rand.Rand,
-	pool []server.SimRequest, sweep server.BatchRequest, tableIDs []string) (int, error) {
+	pool, tracePool []server.SimRequest, sweep server.BatchRequest, tableIDs []string) (int, error) {
 	switch kind {
+	case opTrace:
+		_, err := c.Sim(ctx, tracePool[rng.Intn(len(tracePool))])
+		return 1, err
 	case opBatch:
 		recs, err := c.BatchCollect(ctx, sweep)
 		for _, rec := range recs {

@@ -123,9 +123,16 @@ func retryable(err error) bool {
 // per the Client's policy, and returns a response guaranteed to have a 2xx
 // status; the caller owns the body.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	return c.doTyped(ctx, method, path, body, "application/json")
+}
+
+// doTyped is do with an explicit Content-Type (trace uploads post raw
+// bytes, not JSON). Bodies are byte slices, never streams, so every retry
+// replays the identical request.
+func (c *Client) doTyped(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
 	delay := c.backoff()
 	for attempt := 0; ; attempt++ {
-		resp, err := c.attempt(ctx, method, path, body)
+		resp, err := c.attempt(ctx, method, path, body, contentType)
 		if err == nil {
 			return resp, nil
 		}
@@ -141,7 +148,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	}
 }
 
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -151,7 +158,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 		return nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -245,6 +252,38 @@ func (c *Client) TableText(ctx context.Context, id string) (string, error) {
 func (c *Client) Sim(ctx context.Context, req server.SimRequest) (server.SimResponse, error) {
 	var out server.SimResponse
 	err := c.postJSON(ctx, "/v1/sim", req, &out)
+	return out, err
+}
+
+// UploadTrace ingests one instruction trace (binary ITRC or NDJSON — the
+// server auto-detects). A non-empty name registers a resolvable alias in
+// the same request. The trace is read fully up front so the retry policy
+// can replay the upload byte-for-byte; content addressing makes a
+// duplicate delivery a harmless dedupe. The returned info carries the
+// content key and the exact bench name to pass to Sim or a batch.
+func (c *Client) UploadTrace(ctx context.Context, trace io.Reader, name string) (server.TraceInfo, error) {
+	var out server.TraceInfo
+	body, err := io.ReadAll(trace)
+	if err != nil {
+		return out, fmt.Errorf("client: reading trace: %w", err)
+	}
+	path := "/v1/traces"
+	if name != "" {
+		path += "?name=" + url.QueryEscape(name)
+	}
+	resp, err := c.doTyped(ctx, http.MethodPost, path, body, "application/octet-stream")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Traces lists every trace stored on the daemon.
+func (c *Client) Traces(ctx context.Context) ([]server.TraceInfo, error) {
+	var out []server.TraceInfo
+	err := c.getJSON(ctx, "/v1/traces", &out)
 	return out, err
 }
 

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"itlbcfr/internal/exp"
+	"itlbcfr/internal/server"
+	"itlbcfr/internal/trace"
+)
+
+// traceDaemon is testDaemon with a trace store attached.
+func traceDaemon(t *testing.T) *Client {
+	t.Helper()
+	tstore, err := trace.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := exp.NewRunner(20_000, 5_000)
+	s := server.New(server.Config{Runner: r, MaxConcurrent: 4, Traces: tstore})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	c.Backoff = time.Millisecond
+	return c
+}
+
+func TestClientTraceUploadAndSim(t *testing.T) {
+	c := traceDaemon(t)
+	ctx := context.Background()
+
+	var buf bytes.Buffer
+	if _, err := trace.SynthesizeTo(&buf, trace.SynthConfig{Seed: 31, Instructions: 25_000}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	info, err := c.UploadTrace(ctx, bytes.NewReader(raw), "loadgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Deduped || info.Instructions != 25_000 || !strings.HasPrefix(info.Key, "t1-") {
+		t.Fatalf("upload info: %+v", info)
+	}
+
+	// Re-upload (no name): deduped onto the same key.
+	again, err := c.UploadTrace(ctx, bytes.NewReader(raw), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Deduped || again.Key != info.Key {
+		t.Errorf("re-upload: %+v", again)
+	}
+
+	list, err := c.Traces(ctx)
+	if err != nil || len(list) != 1 || list[0].Key != info.Key {
+		t.Fatalf("Traces = %+v, %v", list, err)
+	}
+	if len(list[0].Names) != 1 || list[0].Names[0] != "loadgen" {
+		t.Errorf("alias listing: %+v", list[0])
+	}
+
+	// Sim by the alias and by the canonical bench name.
+	for _, bench := range []string{"loadgen", info.Bench} {
+		resp, err := c.Sim(ctx, server.SimRequest{Bench: bench, Scheme: "IA"})
+		if err != nil {
+			t.Fatalf("Sim(%q): %v", bench, err)
+		}
+		if resp.Result.Bench != info.Bench || resp.Result.Committed == 0 {
+			t.Errorf("Sim(%q) result: bench=%q committed=%d", bench, resp.Result.Bench, resp.Result.Committed)
+		}
+	}
+
+	// Garbage upload surfaces the server's 400 as a StatusError.
+	_, err = c.UploadTrace(ctx, strings.NewReader("not a trace"), "")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Errorf("garbage upload error = %v, want 400 StatusError", err)
+	}
+}

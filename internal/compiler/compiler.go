@@ -56,14 +56,38 @@ func (s StaticStats) InPageFrac() float64 {
 	return float64(s.InPage) / float64(s.Analyzable)
 }
 
+// AddrMap translates pre-relocation instruction addresses into the
+// compiled image's address space. Stub insertion shifts every instruction
+// after the first stub, so any external record of old addresses — a fetch
+// trace, most importantly — must be mapped before it can drive the
+// compiled image.
+type AddrMap struct {
+	base     addr.VAddr
+	oldToNew []int
+}
+
+// Map returns the compiled address of the instruction that sat at old in
+// the input image. It panics if old is outside the input image, exactly as
+// indexing the input image would.
+func (m *AddrMap) Map(old addr.VAddr) addr.VAddr {
+	return addr.InstAddr(m.base, m.oldToNew[addr.InstIndex(m.base, old)])
+}
+
 // Compile runs the pass and returns the transformed image plus statistics.
 func Compile(img *program.Image, opt Options) (*program.Image, StaticStats, error) {
-	out := relocate(img, opt.InsertBoundaryStubs)
+	out, _, stats, err := CompileWithMap(img, opt)
+	return out, stats, err
+}
+
+// CompileWithMap is Compile, additionally returning the old→new address map
+// the relocation used to rewrite targets.
+func CompileWithMap(img *program.Image, opt Options) (*program.Image, *AddrMap, StaticStats, error) {
+	out, amap := relocate(img, opt.InsertBoundaryStubs)
 	stats := markInPage(out)
 	if err := out.Validate(); err != nil {
-		return nil, StaticStats{}, fmt.Errorf("compiler: produced invalid image: %w", err)
+		return nil, nil, StaticStats{}, fmt.Errorf("compiler: produced invalid image: %w", err)
 	}
-	return out, stats, nil
+	return out, amap, stats, nil
 }
 
 // MustCompile is Compile for known-good images.
@@ -77,7 +101,7 @@ func MustCompile(img *program.Image, opt Options) (*program.Image, StaticStats) 
 
 // relocate copies the image, optionally inserting a stub in the last slot of
 // each page and rewriting all targets through the old→new map.
-func relocate(img *program.Image, stubs bool) *program.Image {
+func relocate(img *program.Image, stubs bool) (*program.Image, *AddrMap) {
 	geom := img.Geom
 	oldCode := img.Code
 
@@ -124,7 +148,7 @@ func relocate(img *program.Image, stubs bool) *program.Image {
 
 	out := program.NewImage(img.Name, img.Base, geom, newCode)
 	out.Entry = mapAddr(img.Entry)
-	return out
+	return out, &AddrMap{base: img.Base, oldToNew: oldToNew}
 }
 
 // markInPage sets the SoLA bit on same-page direct CTIs and gathers the

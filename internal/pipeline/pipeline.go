@@ -175,7 +175,7 @@ type Machine struct {
 	cfg    Config
 	geom   addr.Geometry
 	img    *program.Image
-	ex     *program.Executor
+	ex     program.Source
 	engine *core.Engine
 	space  *vm.AddressSpace
 	il1    *cache.Cache
@@ -205,8 +205,10 @@ type Machine struct {
 }
 
 // New builds a machine. The engine must have been constructed over the same
-// address space and geometry.
-func New(cfg Config, img *program.Image, ex *program.Executor,
+// address space and geometry, and ex must walk the correct path of img
+// (program.NewExecutor for synthetic workloads, a trace replay source for
+// captured ones).
+func New(cfg Config, img *program.Image, ex program.Source,
 	engine *core.Engine, space *vm.AddressSpace) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

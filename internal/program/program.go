@@ -110,6 +110,19 @@ type Step struct {
 	Data  addr.VAddr // Load/Store: effective data address
 }
 
+// Source produces the architectural correct-path instruction stream the
+// pipeline consumes as its oracle. Executor is the synthetic-workload
+// implementation; internal/trace replays stored fetch traces through the
+// same contract. Implementations must uphold what the pipeline and the CFR
+// engine assume of the correct path: Step never ends (sources loop), PC of
+// each step equals Next of the previous one, and every transition where
+// Next is not PC+InstBytes is flagged by a CTI instruction with Taken set —
+// a silent non-sequential transition would change pages without arming a
+// translation and trip the engine's stale-use detector.
+type Source interface {
+	Step() Step
+}
+
 // DataStreamConfig shapes one synthetic data reference stream.
 type DataStreamConfig struct {
 	Base addr.VAddr

@@ -36,13 +36,15 @@ type SweepRequest struct {
 	Warmup       uint64 `json:"warmup,omitempty"`
 }
 
-// jobs expands the request into concrete simulation options, validating
-// every configuration up front so a bad cell fails the whole request with
-// 400 before any streaming begins.
-func (q BatchRequest) jobs() ([]sim.Options, error) {
+// batchJobs expands the request into concrete simulation options,
+// validating every configuration up front so a bad cell fails the whole
+// request with 400 before any streaming begins. Bench names resolve
+// through the server's registry, so explicit sims may reference stored
+// traces (sweeps enumerate calibrated profiles only).
+func (s *Server) batchJobs(q BatchRequest) ([]sim.Options, error) {
 	var out []sim.Options
 	for i, sr := range q.Sims {
-		opt, err := sr.Options()
+		opt, err := s.resolveOptions(sr)
 		if err != nil {
 			return nil, fmt.Errorf("sims[%d]: %w", i, err)
 		}
@@ -99,7 +101,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	jobs, err := req.jobs()
+	jobs, err := s.batchJobs(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -170,7 +172,7 @@ func (s *Server) runBatchJob(ctx context.Context, rid string, i int, opt sim.Opt
 		Index:     i,
 		Key:       s.cfg.Runner.Key(opt),
 		RequestID: rid,
-		Bench:     opt.Profile.Name,
+		Bench:     opt.BenchName(),
 		Scheme:    opt.Scheme.String(),
 		Style:     opt.Style.String(),
 	}

@@ -42,7 +42,6 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"strings"
 	"time"
 
 	"itlbcfr/internal/cache"
@@ -52,7 +51,7 @@ import (
 	"itlbcfr/internal/sim"
 	"itlbcfr/internal/store"
 	"itlbcfr/internal/tlb"
-	"itlbcfr/internal/workload"
+	"itlbcfr/internal/trace"
 )
 
 // Config assembles a Server.
@@ -64,6 +63,17 @@ type Config struct {
 	// Runner as Backing to actually serve from it; the server never reads
 	// it directly.)
 	Store *store.Store
+
+	// Traces, when non-nil, enables the trace endpoints (POST/GET
+	// /v1/traces) and extends the workload namespace /v1/sim and /v1/batch
+	// resolve bench names in: stored traces become runnable by alias, bare
+	// key, or "trace:<key>". Nil serves profiles only; the trace endpoints
+	// answer 503.
+	Traces *trace.Store
+
+	// TraceUploadLimit caps one POST /v1/traces body in bytes
+	// (0 = DefaultTraceUploadLimit). Oversized uploads get 413.
+	TraceUploadLimit int64
 
 	// MaxConcurrent bounds how many requests may simulate at once
 	// (0 = 2 x NumCPU). Waiting for a slot counts against the request's
@@ -97,6 +107,7 @@ type Server struct {
 	log   *slog.Logger
 	reg   *obs.Registry
 	met   *httpMetrics
+	tmet  *traceMetrics
 	build obs.BuildInfo
 }
 
@@ -117,6 +128,9 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.TraceUploadLimit <= 0 {
+		cfg.TraceUploadLimit = DefaultTraceUploadLimit
+	}
 	s := &Server{
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
@@ -125,8 +139,11 @@ func New(cfg Config) *Server {
 		log:   cfg.Logger,
 		reg:   cfg.Registry,
 		met:   newHTTPMetrics(cfg.Registry),
+		tmet:  newTraceMetrics(cfg.Registry),
 		build: obs.ReadBuildInfo(),
 	}
+	s.reg.GaugeFunc("itlb_trace_registry_size", "resolvable workloads (profiles + stored traces)",
+		func() float64 { return float64(s.registry().Size()) })
 	s.reg.Info("itlb_build_info", "build metadata of the serving binary",
 		obs.Label{Name: "go_version", Value: s.build.GoVersion},
 		obs.Label{Name: "revision", Value: s.build.Revision})
@@ -143,6 +160,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTable)
 	s.mux.HandleFunc("POST /v1/sim", s.handleSim)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -364,6 +383,8 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 
 // SimRequest selects one simulation. Zero/empty fields take the paper's
 // defaults, exactly as the CLIs and the store's canonical encoding do.
+// Bench names a calibrated profile, or — on a server with a trace store —
+// a stored trace by alias, bare key, or "trace:<key>".
 type SimRequest struct {
 	Bench        string `json:"bench"`
 	Scheme       string `json:"scheme,omitempty"`       // Base, OPT, HoA, SoCA, SoLA, IA
@@ -374,17 +395,13 @@ type SimRequest struct {
 	Warmup       uint64 `json:"warmup,omitempty"`       // 0 = server default
 }
 
-// Options parses and validates the request into simulation options.
-func (q SimRequest) Options() (sim.Options, error) {
-	if strings.TrimSpace(q.Bench) == "" {
-		return sim.Options{}, fmt.Errorf("bench is required (one of %v)", workload.Names())
-	}
-	p, err := workload.ByName(strings.TrimSpace(q.Bench))
-	if err != nil {
-		return sim.Options{}, err
-	}
-	opt := sim.Options{Profile: p, PageBytes: q.PageBytes,
-		Instructions: q.Instructions, Warmup: q.Warmup}
+// fill parses the non-workload fields onto opt (whose Profile or Trace the
+// caller already resolved) and validates the whole configuration.
+func (q SimRequest) fill(opt sim.Options) (sim.Options, error) {
+	opt.PageBytes = q.PageBytes
+	opt.Instructions = q.Instructions
+	opt.Warmup = q.Warmup
+	var err error
 	if q.Scheme != "" {
 		if opt.Scheme, err = core.ParseScheme(q.Scheme); err != nil {
 			return sim.Options{}, err
@@ -421,7 +438,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	opt, err := req.Options()
+	opt, err := s.resolveOptions(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -455,15 +472,16 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 // full obs.Registry snapshot — the JSON twin of GET /metrics, histograms
 // reduced to {count, sum, p50, p90, p99}.
 type StatsResponse struct {
-	UptimeSeconds float64        `json:"uptime_s"`
-	Requests      int64          `json:"requests"`
-	InFlight      int64          `json:"in_flight"`
-	Batches       int64          `json:"batches"`
-	BatchJobs     int64          `json:"batch_jobs"`
-	SimWallSecs   float64        `json:"sim_wall_s"`
-	Runner        exp.Stats      `json:"runner"`
-	Store         *store.Stats   `json:"store,omitempty"`
-	Metrics       map[string]any `json:"metrics,omitempty"`
+	UptimeSeconds float64           `json:"uptime_s"`
+	Requests      int64             `json:"requests"`
+	InFlight      int64             `json:"in_flight"`
+	Batches       int64             `json:"batches"`
+	BatchJobs     int64             `json:"batch_jobs"`
+	SimWallSecs   float64           `json:"sim_wall_s"`
+	Runner        exp.Stats         `json:"runner"`
+	Store         *store.Stats      `json:"store,omitempty"`
+	Traces        *trace.StoreStats `json:"traces,omitempty"`
+	Metrics       map[string]any    `json:"metrics,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -481,6 +499,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
 		resp.Store = &st
+	}
+	if s.cfg.Traces != nil {
+		ts := s.cfg.Traces.Stats()
+		resp.Traces = &ts
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"itlbcfr/internal/obs"
+	"itlbcfr/internal/sim"
+	"itlbcfr/internal/trace"
+	"itlbcfr/internal/workload"
+)
+
+// DefaultTraceUploadLimit caps a POST /v1/traces body when the config does
+// not say otherwise. 32 MiB of canonical encoding is ~30M sequential
+// instructions — two orders of magnitude past the default simulation
+// length.
+const DefaultTraceUploadLimit int64 = 32 << 20
+
+// traceMetrics instruments the ingestion path (ISSUE satellite: counters
+// for traces and bytes ingested, an ingest-latency histogram, and a
+// registry-size gauge — the gauge itself is registered in New, where the
+// registry exists).
+type traceMetrics struct {
+	ingested *obs.Counter
+	bytes    *obs.Counter
+	latency  *obs.Histogram
+}
+
+func newTraceMetrics(reg *obs.Registry) *traceMetrics {
+	return &traceMetrics{
+		ingested: reg.Counter("itlb_traces_ingested_total",
+			"trace uploads accepted (including dedupes onto an existing key)"),
+		bytes: reg.Counter("itlb_trace_bytes_total",
+			"canonical bytes of accepted trace uploads"),
+		latency: reg.Histogram("itlb_trace_ingest_seconds",
+			"wall time of one trace ingest (read, validate, hash, store)",
+			obs.DefBuckets),
+	}
+}
+
+// TraceInfo is the wire form of one stored trace: its content address, any
+// registered aliases, the census taken at ingest, and the exact bench name
+// /v1/sim and /v1/batch accept for it.
+type TraceInfo struct {
+	Key          string   `json:"key"`
+	Bench        string   `json:"bench"`
+	Names        []string `json:"names,omitempty"`
+	Deduped      bool     `json:"deduped,omitempty"`
+	Bytes        int64    `json:"bytes"`
+	Instructions uint64   `json:"instructions"`
+	Branches     uint64   `json:"branches"`
+	Taken        uint64   `json:"taken"`
+	Pages        int      `json:"pages"`
+}
+
+func traceInfo(m trace.Meta, names []string, deduped bool) TraceInfo {
+	sort.Strings(names)
+	return TraceInfo{
+		Key:          m.Key,
+		Bench:        m.Bench(),
+		Names:        names,
+		Deduped:      deduped,
+		Bytes:        m.Bytes,
+		Instructions: m.Stats.Instructions,
+		Branches:     m.Stats.Branches,
+		Taken:        m.Stats.Taken,
+		Pages:        m.Stats.Pages,
+	}
+}
+
+// handleTraceUpload ingests one trace (binary or NDJSON, auto-detected)
+// streamed as the request body. `?name=alias` registers a resolvable alias
+// atomically with the upload. Responses: 201 for new content, 200 for a
+// dedupe onto an existing key, 400 for malformed or contract-violating
+// streams, 413 past the configured size cap — never 500 for bad input.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Traces == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("trace store not configured (start the daemon with -traces or -cache)"))
+		return
+	}
+	name := strings.TrimSpace(r.URL.Query().Get("name"))
+	if name != "" {
+		// Profile names are reserved in the workload namespace; catch the
+		// collision before reading a possibly large body.
+		if _, err := workload.ByName(name); err == nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("name %q is a calibrated profile and cannot alias a trace", name))
+			return
+		}
+	}
+	t0 := time.Now()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.TraceUploadLimit)
+	m, created, err := s.cfg.Traces.Ingest(body)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		var formatErr *trace.FormatError
+		switch {
+		case errors.As(err, &maxErr):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("trace exceeds the %d-byte upload limit", s.cfg.TraceUploadLimit))
+		case errors.As(err, &formatErr):
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	var names []string
+	if name != "" {
+		if err := s.cfg.Traces.SetName(name, m.Key); err != nil {
+			// The content landed; the alias is the part that failed. Reject
+			// the request so the caller does not believe the name resolves.
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		names = append(names, name)
+	}
+	s.tmet.ingested.Inc()
+	s.tmet.bytes.Add(m.Bytes)
+	s.tmet.latency.ObserveSince(t0)
+	status := http.StatusCreated
+	if !created {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, traceInfo(m, names, !created))
+}
+
+// handleTraceList returns every stored trace with its aliases, sorted by
+// key.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Traces == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("trace store not configured (start the daemon with -traces or -cache)"))
+		return
+	}
+	metas, err := s.cfg.Traces.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	byKey := map[string][]string{}
+	for alias, key := range s.cfg.Traces.Names() {
+		byKey[key] = append(byKey[key], alias)
+	}
+	out := make([]TraceInfo, 0, len(metas))
+	for _, m := range metas {
+		out = append(out, traceInfo(m, byKey[m.Key], false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resolveOptions parses a SimRequest against the full workload namespace:
+// calibrated profiles first (their names are reserved), then stored traces
+// by alias, bare key, or "trace:<key>". Trace workloads get an opener onto
+// this server's store so sim.Run can stream them.
+func (s *Server) resolveOptions(q SimRequest) (sim.Options, error) {
+	wl, err := s.registry().Resolve(q.Bench)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	var opt sim.Options
+	if wl.Trace != nil {
+		opt.Trace = &sim.TraceRef{Key: wl.Trace.Key, Open: s.cfg.Traces.Opener(wl.Trace.Key)}
+	} else {
+		opt.Profile = *wl.Profile
+	}
+	return q.fill(opt)
+}
+
+func (s *Server) registry() trace.Registry {
+	return trace.Registry{Traces: s.cfg.Traces}
+}

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"itlbcfr/internal/exp"
+	"itlbcfr/internal/store"
+	"itlbcfr/internal/trace"
+)
+
+// traceServer is testServer plus a trace store (and optionally a result
+// store) rooted in temp dirs.
+func traceServer(t *testing.T, mutate func(*Config)) (*httptest.Server, *Config) {
+	t.Helper()
+	tstore, err := trace.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := exp.NewRunner(20_000, 5_000)
+	cfg := Config{Runner: r, MaxConcurrent: 4, Traces: tstore}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, &cfg
+}
+
+func postTrace(t *testing.T, ts *httptest.Server, query string, body []byte) (int, TraceInfo, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/traces"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info TraceInfo
+	json.Unmarshal(raw, &info)
+	return resp.StatusCode, info, raw
+}
+
+func synthBytes(t *testing.T, seed, insts uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := trace.SynthesizeTo(&buf, trace.SynthConfig{Seed: seed, Instructions: insts}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceLifecycleEndToEnd is the PR's acceptance walk: upload a
+// synthesized trace, run it by name through /v1/sim under every scheme and
+// through /v1/batch, verify re-upload dedupes onto the identical key, and
+// verify a daemon restart (a fresh Server over the same directories)
+// still resolves the name and serves the cached result.
+func TestTraceLifecycleEndToEnd(t *testing.T) {
+	resultDir := t.TempDir()
+	traceDir := t.TempDir()
+	open := func(t *testing.T) (*httptest.Server, *Config) {
+		t.Helper()
+		tstore, err := trace.OpenStore(traceDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rstore, err := store.Open(resultDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := exp.NewRunner(20_000, 5_000)
+		r.Backing = rstore
+		cfg := Config{Runner: r, MaxConcurrent: 4, Traces: tstore, Store: rstore}
+		s := New(cfg)
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		return ts, &cfg
+	}
+
+	ts, _ := open(t)
+	raw := synthBytes(t, 21, 60_000)
+
+	code, info, body := postTrace(t, ts, "?name=myapp", raw)
+	if code != http.StatusCreated {
+		t.Fatalf("upload = %d: %s", code, body)
+	}
+	if info.Deduped || info.Instructions != 60_000 || !strings.HasPrefix(info.Key, "t1-") {
+		t.Fatalf("upload info: %+v", info)
+	}
+	if info.Bench != "trace:"+info.Key {
+		t.Fatalf("bench = %q", info.Bench)
+	}
+
+	// Re-upload dedupes onto the identical key with 200.
+	code2, info2, body2 := postTrace(t, ts, "", raw)
+	if code2 != http.StatusOK || !info2.Deduped || info2.Key != info.Key {
+		t.Fatalf("re-upload = %d %+v: %s", code2, info2, body2)
+	}
+
+	// Every scheme runs the trace through /v1/sim — by alias and, for one
+	// scheme, by explicit trace:<key> name. Results are keyed per scheme.
+	keys := map[string]bool{}
+	for _, scheme := range []string{"Base", "OPT", "HoA", "SoCA", "SoLA", "IA"} {
+		sc, b := postSim(t, ts, fmt.Sprintf(`{"bench":"myapp","scheme":%q}`, scheme))
+		if sc != http.StatusOK {
+			t.Fatalf("%s: sim = %d: %s", scheme, sc, b)
+		}
+		var resp SimResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Result.Bench != info.Bench {
+			t.Errorf("%s: result bench = %q, want %q", scheme, resp.Result.Bench, info.Bench)
+		}
+		if resp.Result.Committed == 0 {
+			t.Errorf("%s: empty result", scheme)
+		}
+		keys[resp.Key] = true
+	}
+	if len(keys) != 6 {
+		t.Errorf("6 schemes produced %d distinct result keys", len(keys))
+	}
+
+	// The full key spelling resolves to the same cached simulation.
+	sc, b := postSim(t, ts, fmt.Sprintf(`{"bench":%q,"scheme":"IA"}`, info.Bench))
+	if sc != http.StatusOK {
+		t.Fatalf("sim by key = %d: %s", sc, b)
+	}
+	var byKey SimResponse
+	json.Unmarshal(b, &byKey)
+	if !keys[byKey.Key] {
+		t.Errorf("sim by trace:<key> missed the alias's cache key")
+	}
+
+	// Batch mixes a profile and the trace.
+	resp, err := ts.Client().Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"sims":[{"bench":"mesa","scheme":"IA"},{"bench":"myapp","scheme":"IA"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d", resp.StatusCode)
+	}
+	benches := map[string]bool{}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var rec BatchRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Error != "" {
+			t.Fatalf("batch record error: %s", rec.Error)
+		}
+		benches[rec.Bench] = true
+	}
+	if !benches["177.mesa"] || !benches[info.Bench] {
+		t.Errorf("batch benches = %v", benches)
+	}
+
+	// "Restart": a fresh server over the same directories. The alias
+	// resolves, the result comes from the disk store without re-running.
+	ts2, cfg2 := open(t)
+	sc, b = postSim(t, ts2, `{"bench":"myapp","scheme":"IA"}`)
+	if sc != http.StatusOK {
+		t.Fatalf("after restart: sim = %d: %s", sc, b)
+	}
+	if rs := cfg2.Runner.Stats(); rs.Runs != 0 {
+		t.Errorf("after restart: %d simulations ran; expected a pure disk hit", rs.Runs)
+	}
+
+	// Listing shows one trace with its alias.
+	lc, lb := get(t, ts2, "/v1/traces")
+	if lc != http.StatusOK {
+		t.Fatalf("list = %d: %s", lc, lb)
+	}
+	var list []TraceInfo
+	if err := json.Unmarshal(lb, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Key != info.Key || len(list[0].Names) != 1 || list[0].Names[0] != "myapp" {
+		t.Errorf("list = %+v", list)
+	}
+}
+
+// TestTraceUploadEdgeCases: malformed input maps to 400, oversize to 413,
+// never 500 (ISSUE satellite: strict validation parity).
+func TestTraceUploadEdgeCases(t *testing.T) {
+	ts, _ := traceServer(t, func(c *Config) { c.TraceUploadLimit = 2048 })
+
+	small := synthBytes(t, 1, 300)
+	if len(small) >= 2048 {
+		t.Fatalf("test premise broken: %d-byte trace", len(small))
+	}
+	cases := []struct {
+		name string
+		q    string
+		body []byte
+		want int
+	}{
+		{"valid", "", small, http.StatusCreated},
+		{"empty body", "", nil, http.StatusBadRequest},
+		{"garbage", "", []byte("garbage bytes, not a trace"), http.StatusBadRequest},
+		// A cut at a record boundary is a valid shorter trace (the format
+		// has no trailer), so truncation is modeled as an unterminated
+		// varint — the guaranteed mid-record case.
+		{"truncated", "", append(small[:len(small):len(small)], 0x80), http.StatusBadRequest},
+		{"bad ndjson", "", []byte("{\"pc\":\"zzz\"}\n"), http.StatusBadRequest},
+		{"teleport ndjson", "", []byte("{\"pc\":4096}\n{\"pc\":8192}\n"), http.StatusBadRequest},
+		{"oversize", "", synthBytes(t, 2, 40_000), http.StatusRequestEntityTooLarge},
+		{"profile-name alias", "?name=mesa", small, http.StatusBadRequest},
+		{"bad alias", "?name=no/slash", small, http.StatusBadRequest},
+		{"key-shaped alias", "?name=" + strings.Repeat("a", 70), small, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, _, body := postTrace(t, ts, tc.q, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d want %d: %s", tc.name, code, tc.want, body)
+		}
+		if code >= 500 {
+			t.Errorf("%s: bad input produced a 5xx", tc.name)
+		}
+	}
+}
+
+func TestTraceEndpointsWithoutStore(t *testing.T) {
+	s, _ := testServer(t, nil) // no Traces configured
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, _, _ := postTrace(t, ts, "", []byte("x"))
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("upload without store = %d, want 503", code)
+	}
+	if code, _ := get(t, ts, "/v1/traces"); code != http.StatusServiceUnavailable {
+		t.Errorf("list without store = %d, want 503", code)
+	}
+	// Sim by a trace name still yields a clean 400.
+	if code, b := postSim(t, ts, `{"bench":"trace:t1-0000"}`); code != http.StatusBadRequest {
+		t.Errorf("trace sim without store = %d: %s", code, b)
+	}
+}
+
+func TestBatchRejectsUnknownTraceName(t *testing.T) {
+	ts, _ := traceServer(t, nil)
+	resp, err := ts.Client().Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"sims":[{"bench":"mesa"},{"bench":"nonesuch-trace"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("batch with unknown trace = %d, want 400", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "nonesuch-trace") {
+		t.Errorf("error does not name the bad workload: %s", b)
+	}
+}
+
+// TestTraceMetricsAndStats: the ingest counters, latency histogram and
+// registry gauge surface in both /metrics and /v1/stats.
+func TestTraceMetricsAndStats(t *testing.T) {
+	ts, _ := traceServer(t, nil)
+	raw := synthBytes(t, 4, 2_000)
+	if code, _, b := postTrace(t, ts, "", raw); code != http.StatusCreated {
+		t.Fatalf("upload = %d: %s", code, b)
+	}
+	if code, _, b := postTrace(t, ts, "", raw); code != http.StatusOK {
+		t.Fatalf("re-upload = %d: %s", code, b)
+	}
+
+	_, mb := get(t, ts, "/metrics")
+	m := string(mb)
+	for _, want := range []string{
+		"itlb_traces_ingested_total 2",
+		fmt.Sprintf("itlb_trace_bytes_total %d", 2*len(raw)),
+		"itlb_trace_ingest_seconds_count 2",
+		"itlb_trace_registry_size 7", // 6 profiles + 1 stored trace
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	code, sb := get(t, ts, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(sb, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Traces == nil {
+		t.Fatal("stats.traces missing")
+	}
+	if st.Traces.Ingested != 2 || st.Traces.Deduped != 1 || st.Traces.Count != 1 {
+		t.Errorf("stats.traces = %+v", st.Traces)
+	}
+}

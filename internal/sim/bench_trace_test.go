@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/trace"
+	"itlbcfr/internal/workload"
+)
+
+// BenchmarkRunProfile and BenchmarkRunTrace run the same simulation length
+// under the IA scheme from each workload source, so their ratio is the
+// overhead (or saving) of trace replay versus synthetic generation —
+// reported in EXPERIMENTS.md.
+func BenchmarkRunProfile(b *testing.B) {
+	opt := Options{Profile: workload.Mesa(), Scheme: core.IA,
+		Instructions: 100_000, Warmup: 10_000}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunTrace(b *testing.B) {
+	var buf bytes.Buffer
+	if _, err := trace.SynthesizeTo(&buf, trace.SynthConfig{Seed: 17, Instructions: 150_000}); err != nil {
+		b.Fatal(err)
+	}
+	s, err := trace.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _, err := s.Ingest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{Trace: &TraceRef{Key: m.Key, Open: s.Opener(m.Key)},
+		Scheme: core.IA, Instructions: 100_000, Warmup: 10_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"itlbcfr/internal/addr"
@@ -16,6 +17,7 @@ import (
 	"itlbcfr/internal/pipeline"
 	"itlbcfr/internal/program"
 	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/trace"
 	"itlbcfr/internal/vm"
 	"itlbcfr/internal/workload"
 )
@@ -53,12 +55,32 @@ func DefaultPipeline() pipeline.Config {
 // miss penalty.
 func DefaultITLB() tlb.Config { return tlb.Mono(32, 32) }
 
+// TraceRef names a stored instruction trace as a simulation's workload,
+// replacing the synthetic profile. Key is the trace's content address in
+// the trace store — the only part of the reference that identifies the
+// simulation (it folds into the canonical store key). Open streams the
+// canonical binary bytes; replay construction calls it twice (footprint
+// reconstruction, then the replay itself), so it must return a fresh
+// reader each time.
+type TraceRef struct {
+	Key  string                        `json:"key"`
+	Open func() (io.ReadCloser, error) `json:"-"`
+}
+
+// Bench returns the canonical workload name of the trace, stable across
+// any registered aliases so one trace caches under one identity.
+func (t *TraceRef) Bench() string { return "trace:" + t.Key }
+
 // Options selects one simulation.
 type Options struct {
 	Profile workload.Profile
 	Scheme  core.Scheme
 	Style   cache.Style
 	ITLB    tlb.Config
+
+	// Trace, when non-nil, makes a stored trace the workload; Profile is
+	// ignored (and normalized away by the store's canonicalization).
+	Trace *TraceRef
 
 	// Instructions and Warmup default to the package constants when zero.
 	Instructions uint64
@@ -119,7 +141,11 @@ func (o Options) Validate() error {
 			return err
 		}
 	}
-	if err := o.Profile.Validate(); err != nil {
+	if o.Trace != nil {
+		if o.Trace.Key == "" {
+			return fmt.Errorf("sim: trace reference has no key")
+		}
+	} else if err := o.Profile.Validate(); err != nil {
 		return err
 	}
 	if !o.Scheme.Known() {
@@ -141,6 +167,15 @@ func (o Options) Validate() error {
 		}
 	}
 	return nil
+}
+
+// BenchName returns the workload identity results carry: the profile name,
+// or the trace's canonical "trace:<key>" name.
+func (o Options) BenchName() string {
+	if o.Trace != nil {
+		return o.Trace.Bench()
+	}
+	return o.Profile.Name
 }
 
 // Run builds and executes one simulation.
@@ -168,16 +203,37 @@ func Run(opt Options) (Result, error) {
 		geom = g
 	}
 
-	img, err := workload.Generate(opt.Profile)
-	if err != nil {
-		return Result{}, err
-	}
-	img.Geom = geom
-	compiled, _, err := compiler.Compile(img, compiler.Options{
-		InsertBoundaryStubs: opt.Scheme.NeedsStubs(),
-	})
-	if err != nil {
-		return Result{}, err
+	// The workload is either a generated synthetic image walked by the
+	// executor, or a stored trace replayed through a reconstructed image —
+	// both feed the pipeline through the same program.Source contract, so
+	// every scheme, style and the energy model apply unchanged.
+	var compiled *program.Image
+	var src program.Source
+	if opt.Trace != nil {
+		if opt.Trace.Open == nil {
+			return Result{}, fmt.Errorf("sim: trace %s is not openable here (no stream attached)", opt.Trace.Key)
+		}
+		rep, err := trace.NewReplay(opt.Trace.Open, opt.Trace.Key, geom, opt.Scheme.NeedsStubs())
+		if err != nil {
+			return Result{}, err
+		}
+		defer rep.Close()
+		compiled = rep.Image()
+		src = rep
+	} else {
+		img, err := workload.Generate(opt.Profile)
+		if err != nil {
+			return Result{}, err
+		}
+		img.Geom = geom
+		c, _, err := compiler.Compile(img, compiler.Options{
+			InsertBoundaryStubs: opt.Scheme.NeedsStubs(),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		compiled = c
+		src = program.NewExecutor(compiled, opt.Profile.Seed^0xC0FFEE, opt.Profile.DataStreams())
 	}
 
 	itlbCfg := opt.ITLB
@@ -201,8 +257,7 @@ func Run(opt Options) (Result, error) {
 	}
 	pcfg.IL1Style = opt.Style
 
-	ex := program.NewExecutor(compiled, opt.Profile.Seed^0xC0FFEE, opt.Profile.DataStreams())
-	machine, err := pipeline.New(pcfg, compiled, ex, engine, space)
+	machine, err := pipeline.New(pcfg, compiled, src, engine, space)
 	if err != nil {
 		return Result{}, err
 	}
@@ -224,9 +279,9 @@ func Run(opt Options) (Result, error) {
 
 	if res.Engine.StaleUses != 0 {
 		return Result{}, fmt.Errorf("sim: %d stale CFR uses on the correct path (%s/%s/%s): translation contract violated",
-			res.Engine.StaleUses, opt.Profile.Name, opt.Scheme, opt.Style)
+			res.Engine.StaleUses, opt.BenchName(), opt.Scheme, opt.Style)
 	}
-	return Result{Result: res, Bench: opt.Profile.Name, Scheme: opt.Scheme,
+	return Result{Result: res, Bench: opt.BenchName(), Scheme: opt.Scheme,
 		Style: opt.Style, Timing: timing}, nil
 }
 

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/trace"
+)
+
+// synthRef synthesizes a trace into an in-memory store and returns a
+// TraceRef onto it, mirroring exactly what the server builds per request.
+func synthRef(t *testing.T, seed, insts uint64) *TraceRef {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := trace.SynthesizeTo(&buf, trace.SynthConfig{Seed: seed, Instructions: insts}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := trace.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := s.Ingest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &TraceRef{Key: m.Key, Open: s.Opener(m.Key)}
+}
+
+// TestTraceRunsAllSchemes is the core replay acceptance test: one stored
+// trace drives the full pipeline under every scheme, the CFR translation
+// contract holds (sim.Run errors on any stale use), and — as for every
+// profile workload under VI-PT (Figure 4) — every CFR scheme's iTLB
+// energy lands below Base's.
+func TestTraceRunsAllSchemes(t *testing.T) {
+	ref := synthRef(t, 11, 120_000)
+	energy := map[core.Scheme]float64{}
+	for _, sc := range core.Schemes() {
+		opt := Options{Trace: ref, Scheme: sc, Style: cache.VIPT,
+			Instructions: 60_000, Warmup: 10_000}
+		res, err := Run(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if res.Bench != "trace:"+ref.Key {
+			t.Errorf("%s: bench = %q", sc, res.Bench)
+		}
+		if res.Committed < opt.Instructions {
+			t.Errorf("%s: committed %d < %d", sc, res.Committed, opt.Instructions)
+		}
+		if res.EnergyMJ <= 0 {
+			t.Errorf("%s: non-positive energy", sc)
+		}
+		energy[sc] = res.EnergyMJ
+		if sc.NeedsStubs() && res.Stubs == 0 {
+			t.Errorf("%s: no stub instructions committed in a stub scheme", sc)
+		}
+	}
+	for _, sc := range core.Schemes() {
+		if sc == core.Base {
+			continue
+		}
+		if energy[sc] >= energy[core.Base] {
+			t.Errorf("%s: energy %.4f not below Base's %.4f under VI-PT",
+				sc, energy[sc], energy[core.Base])
+		}
+	}
+}
+
+// TestTraceDeterminism: replaying the same stored trace twice is
+// byte-identical through the whole stack, including energy and timing-free
+// fields.
+func TestTraceDeterminism(t *testing.T) {
+	ref := synthRef(t, 5, 100_000)
+	opt := Options{Trace: ref, Scheme: core.SoLA, Instructions: 50_000, Warmup: 10_000}
+	a, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Timing, b.Timing = Timing{}, Timing{}
+	a.WallSeconds, b.WallSeconds = 0, 0
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("two replays of one trace differ:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestTraceLongerThanRun: a short stored trace must wrap seamlessly to
+// feed an arbitrarily long simulation.
+func TestTraceWrapsToFillRun(t *testing.T) {
+	ref := synthRef(t, 9, 4_000)
+	res, err := Run(Options{Trace: ref, Scheme: core.OPT, Instructions: 40_000, Warmup: 2_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed < 40_000 {
+		t.Errorf("committed %d", res.Committed)
+	}
+}
+
+func TestTraceRefValidation(t *testing.T) {
+	if err := (Options{Trace: &TraceRef{}, Scheme: core.OPT}).Validate(); err == nil {
+		t.Error("empty trace key validated")
+	}
+	// Key but no opener: Validate passes (the store can key it), Run fails
+	// with a clear error instead of a nil deref.
+	opt := Options{Trace: &TraceRef{Key: "t1-abc"}, Scheme: core.OPT}
+	if err := opt.Validate(); err != nil {
+		t.Errorf("openerless ref failed validation: %v", err)
+	}
+	if _, err := Run(opt); err == nil {
+		t.Error("openerless ref ran")
+	}
+	// A corrupted stream (wrong content for the claimed key) must be
+	// rejected before any pipeline work.
+	ref := synthRef(t, 2, 4_000)
+	var other bytes.Buffer
+	trace.SynthesizeTo(&other, trace.SynthConfig{Seed: 3, Instructions: 4_000})
+	bad := &TraceRef{Key: ref.Key, Open: func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(other.Bytes())), nil
+	}}
+	if _, err := Run(Options{Trace: bad, Scheme: core.OPT, Instructions: 2_000}); err == nil {
+		t.Error("content/key mismatch ran")
+	}
+}

@@ -49,6 +49,12 @@ func Canonical(opt sim.Options) sim.Options {
 		t := energy.DefaultTech
 		opt.Tech = &t
 	}
+	if opt.Trace != nil {
+		// A trace IS the workload: its content address alone identifies it.
+		// Whatever profile a caller left set cannot perturb the key, and
+		// every alias of one trace shares one cached result.
+		opt.Profile = workload.Profile{}
+	}
 	return opt
 }
 
@@ -57,8 +63,13 @@ func Canonical(opt sim.Options) sim.Options {
 // serializes struct fields in declaration order, so the byte stream — and
 // therefore the hash — is deterministic.
 type keyConfig struct {
-	Schema       int
-	Profile      workload.Profile
+	Schema  int
+	Profile workload.Profile
+	// TraceKey is the trace's own content address when the workload is a
+	// stored trace. omitempty keeps every profile-keyed entry written
+	// before traces existed byte-identical — same canonical JSON, same
+	// hash — so the schema version needs no bump.
+	TraceKey     string `json:",omitempty"`
 	Scheme       string
 	Style        string
 	ITLB         tlb.Config
@@ -74,9 +85,14 @@ type keyConfig struct {
 // (after Canonical) map to equal keys; the key is filesystem- and URL-safe.
 func Key(opt sim.Options) string {
 	opt = Canonical(opt)
+	traceKey := ""
+	if opt.Trace != nil {
+		traceKey = opt.Trace.Key
+	}
 	b, err := json.Marshal(keyConfig{
 		Schema:       SchemaVersion,
 		Profile:      opt.Profile,
+		TraceKey:     traceKey,
 		Scheme:       opt.Scheme.String(),
 		Style:        opt.Style.String(),
 		ITLB:         opt.ITLB,

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// benchTrace synthesizes one reusable trace for the benchmarks.
+func benchTrace(b *testing.B, insts uint64) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if _, err := SynthesizeTo(&buf, SynthConfig{Seed: 17, Instructions: insts}); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkDecode measures raw streaming decode throughput; SetBytes makes
+// the tooling report MB/s of wire format.
+func BenchmarkDecode(b *testing.B) {
+	raw := benchTrace(b, 500_000)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rd, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := rd.Next(); err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkIngest measures the full upload path: sniff, decode, validate,
+// hash, census, and the atomic write into the store (dedupe after the
+// first iteration — the warm path a re-upload takes).
+func BenchmarkIngest(b *testing.B) {
+	raw := benchTrace(b, 500_000)
+	s, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Ingest(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesize measures trace generation (records/s appear as the
+// per-op time over 200k instructions).
+func BenchmarkSynthesize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SynthesizeTo(io.Discard, SynthConfig{Seed: uint64(i + 1), Instructions: 200_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package trace makes captured instruction-fetch streams first-class
+// workloads: anything that records "which PC was fetched, and did the
+// instruction transfer control" can be uploaded, stored and simulated
+// through every translation scheme and the energy model, exactly like the
+// six calibrated synthetic profiles.
+//
+// A trace has two wire forms with identical information content:
+//
+//   - Binary (canonical): a 5-byte header — the magic "ITRC" plus a format
+//     version byte — followed by one unsigned varint per record. Each varint
+//     packs zigzag((pc-prevPC)/4) << 2 | taken<<1 | branch, so sequential
+//     execution (the overwhelmingly common case) costs one byte per
+//     instruction. prevPC starts at zero.
+//   - NDJSON (interchange): one {"pc": ..., "branch": ..., "taken": ...}
+//     object per line, pc as a JSON number or a "0x..." string.
+//
+// Uploads in either form are re-encoded to the canonical binary form, and
+// the trace's content address — "t1-" plus the SHA-256 of those canonical
+// bytes — is derived from it, so both spellings of the same trace dedupe to
+// one stored object.
+//
+// Both decoders stream: memory use is a fixed buffer regardless of trace
+// length (asserted by test for >1M-instruction traces).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"itlbcfr/internal/addr"
+)
+
+// FormatVersion is the binary format generation, stamped into the header.
+// Bump it when record semantics change; old traces then fail the header
+// check instead of being misdecoded.
+const FormatVersion = 1
+
+// magic opens every binary trace.
+const magic = "ITRC"
+
+// MaxPC bounds every program counter a trace may carry. 2^48 leaves the
+// whole modeled virtual range addressable while keeping delta arithmetic
+// far from 64-bit overflow.
+const MaxPC = uint64(1) << 48
+
+// MaxSpanBytes bounds maxPC-minPC: the trace's code footprint must fit a
+// 4 MiB window, because simulation reconstructs one image slot per
+// instruction address in the span. The paper's workloads occupy a few
+// hundred KB; 4 MiB is an order of magnitude of headroom.
+const MaxSpanBytes = uint64(4) << 20
+
+// Rec is one fetched-and-committed instruction of a trace.
+type Rec struct {
+	// PC is the instruction's byte address (4-byte aligned, below MaxPC).
+	PC uint64
+	// Branch marks a control-transfer instruction.
+	Branch bool
+	// Taken marks that control transferred (implies Branch). Every record
+	// whose successor is not PC+4 must have Taken set — the replay contract
+	// (see program.Source) depends on it.
+	Taken bool
+}
+
+// FormatError reports malformed trace input: a bad header, a truncated or
+// out-of-range record, or a record sequence that violates the replay
+// contract. The HTTP layer maps it to 400.
+type FormatError struct{ msg string }
+
+func (e *FormatError) Error() string { return "trace: " + e.msg }
+
+func formatErrf(format string, args ...any) error {
+	return &FormatError{msg: fmt.Sprintf(format, args...)}
+}
+
+// validateRec enforces the per-record invariants shared by both decoders
+// and the writer.
+func validateRec(r Rec) error {
+	if r.PC >= MaxPC {
+		return formatErrf("pc %#x beyond the %#x limit", r.PC, MaxPC)
+	}
+	if r.PC%addr.InstBytes != 0 {
+		return formatErrf("pc %#x is not %d-byte aligned", r.PC, addr.InstBytes)
+	}
+	if r.Taken && !r.Branch {
+		return formatErrf("record at %#x is taken but not a branch", r.PC)
+	}
+	return nil
+}
+
+// checkTransition enforces the replay contract between consecutive
+// records: a record that did not transfer control must fall through to
+// PC+4. Anything else would change pages without a control-transfer event
+// to arm a translation, which no scheme can replay faithfully.
+func checkTransition(prev, cur Rec) error {
+	if !prev.Taken && cur.PC != prev.PC+addr.InstBytes {
+		return formatErrf("non-taken record at %#x followed by %#x (fall-through must be %#x)",
+			prev.PC, cur.PC, prev.PC+addr.InstBytes)
+	}
+	return nil
+}
+
+// zigzag folds a signed delta into the unsigned varint space.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Writer streams records into the canonical binary form. Create with
+// NewWriter, call Write per record, and Flush when done.
+type Writer struct {
+	w          *bufio.Writer
+	prev       uint64
+	count      uint64
+	headerSent bool
+	buf        [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a Writer emitting to w. The header is written on the
+// first record (or Flush), so an aborted encode can leave nothing behind.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) header() error {
+	if w.headerSent {
+		return nil
+	}
+	w.headerSent = true
+	if _, err := w.w.WriteString(magic); err != nil {
+		return err
+	}
+	return w.w.WriteByte(FormatVersion)
+}
+
+// Write appends one record. It validates the same invariants the decoders
+// enforce, so every written stream is readable.
+func (w *Writer) Write(r Rec) error {
+	if err := validateRec(r); err != nil {
+		return err
+	}
+	if err := w.header(); err != nil {
+		return err
+	}
+	delta := (int64(r.PC) - int64(w.prev)) / addr.InstBytes
+	var flags uint64
+	if r.Branch {
+		flags |= 1
+	}
+	if r.Taken {
+		flags |= 2
+	}
+	n := binary.PutUvarint(w.buf[:], zigzag(delta)<<2|flags)
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	w.prev = r.PC
+	w.count++
+	return nil
+}
+
+// Count returns how many records have been written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush writes the header (for an empty trace) and drains the buffer.
+func (w *Writer) Flush() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// RecordReader is the streaming decode interface both wire forms satisfy.
+// Next returns io.EOF at a clean end of input.
+type RecordReader interface {
+	Next() (Rec, error)
+}
+
+// RecordWriter is the streaming encode interface both wire forms satisfy.
+type RecordWriter interface {
+	Write(Rec) error
+	Flush() error
+}
+
+// Reader decodes the binary form. Memory use is one bufio buffer
+// regardless of trace length.
+type Reader struct {
+	r    *bufio.Reader
+	prev uint64
+	err  error
+}
+
+// NewReader checks the header and returns a streaming decoder.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var hdr [len(magic) + 1]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, formatErrf("input shorter than the %d-byte header", len(hdr))
+		}
+		return nil, err
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, formatErrf("bad magic %q (want %q)", hdr[:len(magic)], magic)
+	}
+	if hdr[len(magic)] != FormatVersion {
+		return nil, formatErrf("unsupported format version %d (want %d)", hdr[len(magic)], FormatVersion)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, io.EOF at a clean record boundary, or a
+// FormatError for truncated/out-of-range input. After any error the reader
+// is exhausted.
+func (r *Reader) Next() (Rec, error) {
+	if r.err != nil {
+		return Rec{}, r.err
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			r.err = io.EOF
+		} else if err == io.ErrUnexpectedEOF {
+			r.err = formatErrf("truncated record after pc %#x", r.prev)
+		} else {
+			r.err = err
+		}
+		return Rec{}, r.err
+	}
+	delta := unzigzag(v >> 2)
+	if delta > int64(MaxPC/addr.InstBytes) || delta < -int64(MaxPC/addr.InstBytes) {
+		r.err = formatErrf("pc delta %d out of range after pc %#x", delta, r.prev)
+		return Rec{}, r.err
+	}
+	pc := int64(r.prev) + delta*addr.InstBytes
+	if pc < 0 || uint64(pc) >= MaxPC {
+		r.err = formatErrf("pc %#x out of range after pc %#x", pc, r.prev)
+		return Rec{}, r.err
+	}
+	rec := Rec{PC: uint64(pc), Branch: v&1 != 0, Taken: v&2 != 0}
+	if err := validateRec(rec); err != nil {
+		r.err = err
+		return Rec{}, r.err
+	}
+	r.prev = rec.PC
+	return rec, nil
+}
+
+// textRec is the NDJSON line shape.
+type textRec struct {
+	PC     pcValue `json:"pc"`
+	Branch bool    `json:"branch,omitempty"`
+	Taken  bool    `json:"taken,omitempty"`
+}
+
+// pcValue accepts a PC as a JSON number or a string ("0x..." or decimal).
+type pcValue uint64
+
+func (p *pcValue) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if strings.HasPrefix(s, `"`) {
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		s = strings.TrimSpace(s)
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return fmt.Errorf("pc %s: %w", string(b), err)
+	}
+	*p = pcValue(v)
+	return nil
+}
+
+func (p pcValue) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", "0x"+strconv.FormatUint(uint64(p), 16))), nil
+}
+
+// TextReader decodes the NDJSON form. json.Decoder streams concatenated
+// objects, so line breaks are conventional rather than load-bearing.
+type TextReader struct {
+	dec *json.Decoder
+	err error
+}
+
+// NewTextReader returns a streaming NDJSON decoder.
+func NewTextReader(r io.Reader) *TextReader {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return &TextReader{dec: dec}
+}
+
+// Next returns the next record or io.EOF at a clean end of input.
+func (t *TextReader) Next() (Rec, error) {
+	if t.err != nil {
+		return Rec{}, t.err
+	}
+	var tr textRec
+	if err := t.dec.Decode(&tr); err != nil {
+		if err == io.EOF {
+			t.err = io.EOF
+		} else {
+			t.err = formatErrf("bad NDJSON record: %v", err)
+		}
+		return Rec{}, t.err
+	}
+	rec := Rec{PC: uint64(tr.PC), Branch: tr.Branch, Taken: tr.Taken}
+	if err := validateRec(rec); err != nil {
+		t.err = err
+		return Rec{}, t.err
+	}
+	return rec, nil
+}
+
+// TextWriter streams records as NDJSON.
+type TextWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewTextWriter returns an NDJSON encoder.
+func NewTextWriter(w io.Writer) *TextWriter {
+	bw := bufio.NewWriter(w)
+	return &TextWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record as a JSON line.
+func (t *TextWriter) Write(r Rec) error {
+	if err := validateRec(r); err != nil {
+		return err
+	}
+	return t.enc.Encode(textRec{PC: pcValue(r.PC), Branch: r.Branch, Taken: r.Taken})
+}
+
+// Flush drains the buffer.
+func (t *TextWriter) Flush() error { return t.w.Flush() }
+
+// SniffReader detects the wire form of r — the binary magic or NDJSON —
+// and returns the matching streaming decoder.
+func SniffReader(r io.Reader) (RecordReader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magic))
+	if err != nil && len(head) == 0 {
+		if err == io.EOF {
+			return nil, formatErrf("empty input")
+		}
+		return nil, err
+	}
+	if string(head) == magic {
+		return NewReader(br)
+	}
+	return NewTextReader(br), nil
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.itrc")
+
+// goldenCfg pins one synthesized trace forever. If golden bytes ever
+// change, every previously published content address silently dangles —
+// so this test fails loudly on any encoder or synthesizer drift.
+var goldenCfg = SynthConfig{Seed: 42, Instructions: 1000}
+
+func TestGoldenTrace(t *testing.T) {
+	path := filepath.Join("testdata", "golden.itrc")
+	var buf bytes.Buffer
+	st, err := SynthesizeTo(&buf, goldenCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %d bytes, key t1-%x", path, buf.Len(), sha256.Sum256(buf.Bytes()))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("synthesizer or encoder drifted: golden trace is %d bytes, regeneration is %d bytes (diff starts at offset %d)",
+			len(want), buf.Len(), diffAt(want, buf.Bytes()))
+	}
+
+	// The golden trace's content address and census are part of the
+	// contract too: CI smoke tests and docs reference them.
+	key := fmt.Sprintf("t1-%x", sha256.Sum256(want))
+	const wantKey = "t1-f5fbcf561e1ab59fda71bff22aaf4c80ef72381146a823cf029c73d05a6f1f73"
+	if key != wantKey {
+		t.Errorf("golden key = %s, want %s", key, wantKey)
+	}
+	wantStats := Stats{Instructions: 1000, Branches: 72, Taken: 63,
+		MinPC: 0x400000, MaxPC: 0x40647c, Pages: 6}
+	if st != wantStats {
+		t.Errorf("golden stats = %+v, want %+v", st, wantStats)
+	}
+
+	// And it ingests to that same key.
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := s.Ingest(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Key != wantKey {
+		t.Errorf("ingest key = %s, want %s", m.Key, wantKey)
+	}
+}
+
+func diffAt(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"itlbcfr/internal/workload"
+)
+
+// Registry resolves workload names across both namespaces the service
+// serves: the six calibrated paper profiles, and stored traces addressed
+// by alias, bare key, or "trace:<key>". Profiles win every collision —
+// their names are reserved — so a hostile trace alias can never shadow a
+// paper benchmark.
+type Registry struct {
+	// Traces extends the namespace with stored traces; nil restricts
+	// resolution to the calibrated profiles.
+	Traces *Store
+}
+
+// Workload is one resolved name: exactly one of Profile and Trace is set.
+type Workload struct {
+	Profile *workload.Profile
+	Trace   *Meta
+}
+
+// Resolve maps a workload name to a profile or a stored trace.
+func (r Registry) Resolve(name string) (Workload, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Workload{}, fmt.Errorf("workload name is required (one of %v, a stored trace name, or trace:<key>)",
+			workload.Names())
+	}
+	if p, err := workload.ByName(name); err == nil {
+		return Workload{Profile: &p}, nil
+	}
+	if r.Traces != nil {
+		if m, err := r.Traces.Resolve(name); err == nil {
+			return Workload{Trace: &m}, nil
+		}
+	}
+	hint := "profiles: " + strings.Join(workload.Names(), ", ")
+	if r.Traces != nil {
+		hint += `; traces: upload with POST /v1/traces, then name it "trace:<key>" or its registered alias`
+	}
+	return Workload{}, fmt.Errorf("unknown workload %q (%s)", name, hint)
+}
+
+// Names lists every resolvable name: profile names first, then trace
+// aliases, sorted within each group.
+func (r Registry) Names() []string {
+	out := append([]string(nil), workload.Names()...)
+	if r.Traces != nil {
+		aliases := r.Traces.Names()
+		keys := make([]string, 0, len(aliases))
+		for a := range aliases {
+			keys = append(keys, a)
+		}
+		sort.Strings(keys)
+		out = append(out, keys...)
+	}
+	return out
+}
+
+// Size counts resolvable workloads: profiles plus stored traces (the
+// registry-size gauge the metrics export).
+func (r Registry) Size() int {
+	n := len(workload.Names())
+	if r.Traces != nil {
+		n += r.Traces.Count()
+	}
+	return n
+}

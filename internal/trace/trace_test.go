@@ -1,0 +1,444 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sample returns a small hand-built record sequence satisfying the replay
+// contract: a loop, a call-like jump, and plenty of sequential filler.
+func sample() []Rec {
+	var recs []Rec
+	pc := uint64(0x40_0000)
+	for i := 0; i < 40; i++ {
+		recs = append(recs, Rec{PC: pc})
+		pc += 4
+	}
+	// Loop back 3 times.
+	loopTop := pc
+	for l := 0; l < 3; l++ {
+		for i := 0; i < 10; i++ {
+			recs = append(recs, Rec{PC: loopTop + uint64(i)*4})
+		}
+		taken := l < 2
+		recs = append(recs, Rec{PC: loopTop + 40, Branch: true, Taken: taken})
+		if !taken {
+			pc = loopTop + 44
+		}
+	}
+	// Taken jump far forward, then filler.
+	recs = append(recs, Rec{PC: pc}, Rec{PC: pc + 4, Branch: true, Taken: true})
+	pc += 0x2000
+	for i := 0; i < 20; i++ {
+		recs = append(recs, Rec{PC: pc})
+		pc += 4
+	}
+	return recs
+}
+
+func encode(t *testing.T, recs []Rec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("write %+v: %v", r, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeAll(t *testing.T, rr RecordReader) []Rec {
+	t.Helper()
+	var out []Rec
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("decode after %d records: %v", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := sample()
+	b := encode(t, recs)
+	rd, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll(t, rd)
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	// Sequential instructions should cost ~1 byte each.
+	if max := len(recs) + 64; len(b) > max {
+		t.Errorf("encoding is %d bytes for %d records (want <= %d)", len(b), len(recs), max)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	recs := sample()
+	var buf bytes.Buffer
+	tw := NewTextWriter(&buf)
+	for _, r := range recs {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll(t, NewTextReader(&buf))
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestSniffReader(t *testing.T) {
+	recs := sample()
+	bin := encode(t, recs)
+	rr, err := SniffReader(bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rr.(*Reader); !ok {
+		t.Fatalf("binary input sniffed as %T", rr)
+	}
+	if got := decodeAll(t, rr); len(got) != len(recs) {
+		t.Fatalf("sniffed binary decoded %d records, want %d", len(got), len(recs))
+	}
+
+	text := `{"pc":"0x400000"}` + "\n" + `{"pc":4194308,"branch":true,"taken":true}` + "\n"
+	rr, err = SniffReader(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll(t, rr)
+	want := []Rec{{PC: 0x400000}, {PC: 0x400004, Branch: true, Taken: true}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("sniffed NDJSON decoded %+v, want %+v", got, want)
+	}
+
+	if _, err := SniffReader(strings.NewReader("")); err == nil {
+		t.Error("empty input did not error")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"short header":  []byte("ITR"),
+		"bad magic":     []byte("NOPE\x01rest"),
+		"bad version":   []byte("ITRC\x09"),
+		"truncated rec": append(encode(t, sample())[:0:0], append([]byte("ITRC\x01"), 0x80, 0x80)...),
+	}
+	for name, b := range cases {
+		rd, err := NewReader(bytes.NewReader(b))
+		if err == nil {
+			_, err = rd.Next()
+		}
+		var fe *FormatError
+		if err == nil || !errorsAs(err, &fe) {
+			t.Errorf("%s: got %v, want FormatError", name, err)
+		}
+	}
+	// Taken-without-branch flag combination.
+	bad := []byte("ITRC\x01")
+	bad = append(bad, 0x02) // delta 0, flags=taken only
+	rd, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err == nil {
+		t.Error("taken-without-branch decoded without error")
+	}
+}
+
+func errorsAs(err error, target any) bool {
+	fe, ok := target.(**FormatError)
+	if !ok {
+		return false
+	}
+	e, ok := err.(*FormatError)
+	if ok {
+		*fe = e
+	}
+	return ok
+}
+
+func TestStoreIngestDedupeAndForms(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sample()
+	bin := encode(t, recs)
+
+	m1, created, err := s.Ingest(bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Error("first ingest reported dedupe")
+	}
+	if m1.Stats.Instructions != uint64(len(recs)) {
+		t.Errorf("instructions = %d, want %d", m1.Stats.Instructions, len(recs))
+	}
+
+	// Re-upload: same key, deduped.
+	m2, created, err := s.Ingest(bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || m2.Key != m1.Key {
+		t.Errorf("re-ingest: created=%v key=%s (want dedupe onto %s)", created, m2.Key, m1.Key)
+	}
+
+	// NDJSON form of the same records dedupes onto the same key.
+	var text bytes.Buffer
+	tw := NewTextWriter(&text)
+	for _, r := range recs {
+		tw.Write(r)
+	}
+	tw.Flush()
+	m3, created, err := s.Ingest(&text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || m3.Key != m1.Key {
+		t.Errorf("NDJSON ingest: created=%v key=%s, want dedupe onto %s", created, m3.Key, m1.Key)
+	}
+
+	// Stored bytes round-trip through Open.
+	rc, err := s.Open(m1.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := io.ReadAll(rc)
+	rc.Close()
+	if !bytes.Equal(stored, bin) {
+		t.Error("stored canonical bytes differ from the canonical encoding")
+	}
+
+	// Aliases resolve; keys and trace: prefixes resolve; junk does not.
+	if err := s.SetName("myapp", m1.Key); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"myapp", m1.Key, "trace:" + m1.Key} {
+		m, err := s.Resolve(name)
+		if err != nil || m.Key != m1.Key {
+			t.Errorf("Resolve(%q) = %v, %v", name, m.Key, err)
+		}
+	}
+	if _, err := s.Resolve("no-such-trace"); err == nil {
+		t.Error("unknown name resolved")
+	}
+	if _, err := s.Resolve("../../etc/passwd"); err == nil {
+		t.Error("path traversal name resolved")
+	}
+	if err := s.SetName("trace:abc", m1.Key); err == nil {
+		t.Error("key-namespace alias accepted")
+	}
+
+	metas, err := s.List()
+	if err != nil || len(metas) != 1 || metas[0].Key != m1.Key {
+		t.Errorf("List = %v, %v", metas, err)
+	}
+	st := s.Stats()
+	if st.Ingested != 3 || st.Deduped != 2 || st.Count != 1 || st.Bytes != m1.Bytes {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestIngestRejectsContractViolations(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]Rec{
+		"silent teleport": {{PC: 0x1000}, {PC: 0x2000}},
+		"non-taken jump":  {{PC: 0x1000, Branch: true}, {PC: 0x2000}},
+	}
+	for name, recs := range cases {
+		// Encode via the text form (the binary Writer enforces nothing
+		// about transitions, so this also exercises sniffing).
+		var buf bytes.Buffer
+		tw := NewTextWriter(&buf)
+		for _, r := range recs {
+			if err := tw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tw.Flush()
+		if _, _, err := s.Ingest(&buf); err == nil {
+			t.Errorf("%s: ingested without error", name)
+		}
+	}
+	if _, _, err := s.Ingest(strings.NewReader("")); err == nil {
+		t.Error("empty upload ingested")
+	}
+	// Span cap.
+	wide := []Rec{{PC: 0, Branch: true, Taken: true}, {PC: MaxSpanBytes + 4096}}
+	if _, _, err := s.Ingest(bytes.NewReader(encode(t, wide))); err == nil {
+		t.Error("over-span trace ingested")
+	}
+	if st := s.Stats(); st.IngestErrors != 4 {
+		t.Errorf("ingest errors = %d, want 4", st.IngestErrors)
+	}
+}
+
+func TestSynthDeterministicAndValid(t *testing.T) {
+	cfg := SynthConfig{Seed: 7, Instructions: 30_000}
+	var a, b bytes.Buffer
+	st1, err := SynthesizeTo(&a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := SynthesizeTo(&b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different bytes")
+	}
+	if st1 != st2 {
+		t.Errorf("same seed produced different stats: %+v vs %+v", st1, st2)
+	}
+	if st1.Instructions != 30_000 {
+		t.Errorf("instructions = %d", st1.Instructions)
+	}
+	if st1.Branches == 0 || st1.Taken == 0 || st1.Taken > st1.Branches {
+		t.Errorf("implausible branch census: %+v", st1)
+	}
+	// Branch fraction should land in a realistic band (the paper's
+	// workloads run 7-19%).
+	frac := float64(st1.Branches) / float64(st1.Instructions)
+	if frac < 0.02 || frac > 0.40 {
+		t.Errorf("branch fraction %.3f outside [0.02, 0.40]", frac)
+	}
+
+	// A synthesized stream must ingest cleanly (it validates transitions).
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, created, err := s.Ingest(bytes.NewReader(a.Bytes()))
+	if err != nil || !created {
+		t.Fatalf("ingest synthesized: %v created=%v", err, created)
+	}
+	if m.Stats != st1 {
+		t.Errorf("store census %+v != synth census %+v", m.Stats, st1)
+	}
+	// Different seed, different trace.
+	var c bytes.Buffer
+	if _, err := SynthesizeTo(&c, SynthConfig{Seed: 8, Instructions: 30_000}); err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := s.Ingest(bytes.NewReader(c.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Key == m.Key {
+		t.Error("different seeds collided on one key")
+	}
+}
+
+// TestStreamingDecodeDoesNotMaterialize is the acceptance-criteria
+// assertion: decoding a >1M-instruction trace allocates a fixed amount
+// (reader construction only), not per record — the stream is never
+// materialized in memory.
+func TestStreamingDecodeDoesNotMaterialize(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 1_200_000
+	st, err := SynthesizeTo(&buf, SynthConfig{Seed: 3, Instructions: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != n {
+		t.Fatalf("synthesized %d", st.Instructions)
+	}
+	b := buf.Bytes()
+	t.Logf("%d instructions encode to %d bytes (%.2f B/inst)", n, len(b), float64(len(b))/n)
+
+	var decoded uint64
+	allocs := testing.AllocsPerRun(1, func() {
+		rd, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded = 0
+		for {
+			if _, err := rd.Next(); err != nil {
+				if err != io.EOF {
+					t.Fatal(err)
+				}
+				break
+			}
+			decoded++
+		}
+	})
+	if decoded != n {
+		t.Fatalf("decoded %d of %d records", decoded, n)
+	}
+	// Construction allocates the bufio buffer and reader; the per-record
+	// loop must allocate nothing. 100 is orders of magnitude below one
+	// allocation per record.
+	if allocs > 100 {
+		t.Errorf("decoding %d records cost %.0f allocations — decoder is materializing", n, allocs)
+	}
+}
+
+func TestOpenStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := s1.Ingest(bytes.NewReader(encode(t, sample())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SetName("boot", m.Key); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Store over the same directory sees everything.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Resolve("boot")
+	if err != nil || got.Key != m.Key {
+		t.Fatalf("after restart: Resolve(boot) = %v, %v", got, err)
+	}
+	if _, err := s2.Open(m.Key); err != nil {
+		t.Fatalf("after restart: Open: %v", err)
+	}
+	// Corrupt object file: Meta survives but replay hash check must fail —
+	// covered in replay_test; here List still works.
+	junk := filepath.Join(dir, "nonsense.txt")
+	os.WriteFile(junk, []byte("x"), 0o644)
+	if metas, err := s2.List(); err != nil || len(metas) != 1 {
+		t.Errorf("List with junk present = %v, %v", metas, err)
+	}
+}
