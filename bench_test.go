@@ -85,6 +85,22 @@ func benchAll(b *testing.B, workers int) {
 func BenchmarkAllSerial(b *testing.B)   { benchAll(b, 1) }
 func BenchmarkAllParallel(b *testing.B) { benchAll(b, runtime.NumCPU()) }
 
+// BenchmarkAllSerialNoWarmFork is BenchmarkAllSerial with warm-state
+// forking disabled: every simulation re-executes its own warm-up, as all
+// of them did before the checkpointing change. The delta against
+// BenchmarkAllSerial is the sweep-level win of executing each distinct
+// warm-up once.
+func BenchmarkAllSerialNoWarmFork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchN, benchWarm)
+		r.Workers = 1
+		r.DisableWarmFork = true
+		if _, err := exp.All(context.Background(), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (instructions
 // per wall second) for the default configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {

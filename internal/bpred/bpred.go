@@ -260,6 +260,52 @@ func (p *Predictor) Resolve(pc addr.VAddr, kind isa.Kind, pred Prediction, taken
 	return correct
 }
 
+// State is a deep snapshot of a predictor's contents and statistics, taken
+// with Snapshot and reinstated with Restore. It shares no memory with the
+// predictor it came from, so one snapshot can seed many predictors
+// concurrently.
+type State struct {
+	bimodal []uint8
+	btb     []btbEntry
+	ras     []addr.VAddr
+	rasTop  int
+	rasLive int
+	tick    uint64
+	stats   Stats
+}
+
+// Snapshot captures the predictor's full state: the bimodal counters, the
+// BTB (entries and LRU), the return-address stack and the statistics.
+func (p *Predictor) Snapshot() *State {
+	return &State{
+		bimodal: append([]uint8(nil), p.bimodal...),
+		btb:     append([]btbEntry(nil), p.btb...),
+		ras:     append([]addr.VAddr(nil), p.ras...),
+		rasTop:  p.rasTop,
+		rasLive: p.rasLive,
+		tick:    p.tick,
+		stats:   p.stats,
+	}
+}
+
+// Restore overwrites the predictor's state from a snapshot. The snapshot
+// must come from an identically configured predictor; the state is copied,
+// never aliased.
+func (p *Predictor) Restore(s *State) error {
+	if len(s.bimodal) != len(p.bimodal) || len(s.btb) != len(p.btb) || len(s.ras) != len(p.ras) {
+		return fmt.Errorf("bpred: snapshot geometry mismatch (bimodal %d/%d, btb %d/%d, ras %d/%d)",
+			len(s.bimodal), len(p.bimodal), len(s.btb), len(p.btb), len(s.ras), len(p.ras))
+	}
+	copy(p.bimodal, s.bimodal)
+	copy(p.btb, s.btb)
+	copy(p.ras, s.ras)
+	p.rasTop = s.rasTop
+	p.rasLive = s.rasLive
+	p.tick = s.tick
+	p.stats = s.stats
+	return nil
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (p *Predictor) Stats() Stats { return p.stats }
 

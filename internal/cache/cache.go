@@ -130,6 +130,8 @@ type Stats struct {
 type Cache struct {
 	cfg       Config
 	sets      int
+	assoc     int
+	writeBack bool
 	blockBits uint
 	lines     []line
 	tick      uint64
@@ -148,6 +150,8 @@ func New(cfg Config) *Cache {
 	return &Cache{
 		cfg:       cfg,
 		sets:      cfg.Sets(),
+		assoc:     cfg.Assoc,
+		writeBack: cfg.WriteBack,
 		blockBits: bb,
 		lines:     make([]line, cfg.Sets()*cfg.Assoc),
 	}
@@ -185,12 +189,64 @@ func (c *Cache) Access(indexAddr, tagAddr uint64, write bool) Result {
 	c.stats.Accesses++
 	set := c.setIndex(indexAddr)
 	tag := c.tagOf(tagAddr)
-	ws := c.ways(set)
+	if c.assoc == 1 { // direct-mapped: one candidate line, no victim search
+		ln := &c.lines[set]
+		if ln.valid && ln.tag == tag {
+			c.tick++
+			ln.lru = c.tick
+			if write && c.writeBack {
+				ln.dirty = true
+			}
+			return Result{Hit: true}
+		}
+		c.stats.Misses++
+		wb := ln.valid && ln.dirty
+		if wb {
+			c.stats.WriteBacks++
+		}
+		c.tick++
+		*ln = line{tag: tag, valid: true, dirty: write && c.writeBack, lru: c.tick}
+		return Result{Hit: false, WriteBack: wb}
+	}
+	if c.assoc == 2 { // two-way: unrolled probe
+		base := set * 2
+		a, b := &c.lines[base], &c.lines[base+1]
+		if a.valid && a.tag == tag {
+			c.tick++
+			a.lru = c.tick
+			if write && c.writeBack {
+				a.dirty = true
+			}
+			return Result{Hit: true}
+		}
+		if b.valid && b.tag == tag {
+			c.tick++
+			b.lru = c.tick
+			if write && c.writeBack {
+				b.dirty = true
+			}
+			return Result{Hit: true}
+		}
+		c.stats.Misses++
+		v := a
+		if a.valid && (!b.valid || b.lru < a.lru) {
+			v = b
+		}
+		wb := v.valid && v.dirty
+		if wb {
+			c.stats.WriteBacks++
+		}
+		c.tick++
+		*v = line{tag: tag, valid: true, dirty: write && c.writeBack, lru: c.tick}
+		return Result{Hit: false, WriteBack: wb}
+	}
+	base := set * c.assoc
+	ws := c.lines[base : base+c.assoc]
 	for i := range ws {
 		if ws[i].valid && ws[i].tag == tag {
 			c.tick++
 			ws[i].lru = c.tick
-			if write && c.cfg.WriteBack {
+			if write && c.writeBack {
 				ws[i].dirty = true
 			}
 			return Result{Hit: true}
@@ -212,7 +268,7 @@ func (c *Cache) Access(indexAddr, tagAddr uint64, write bool) Result {
 		c.stats.WriteBacks++
 	}
 	c.tick++
-	ws[victim] = line{tag: tag, valid: true, dirty: write && c.cfg.WriteBack, lru: c.tick}
+	ws[victim] = line{tag: tag, valid: true, dirty: write && c.writeBack, lru: c.tick}
 	return Result{Hit: false, WriteBack: wb}
 }
 
@@ -239,6 +295,39 @@ func (c *Cache) Flush() int {
 		c.lines[i] = line{}
 	}
 	return dirty
+}
+
+// State is a deep snapshot of a cache's contents and statistics, taken with
+// Snapshot and reinstated with Restore. It shares no memory with the cache
+// it came from, so one snapshot can seed many caches concurrently.
+type State struct {
+	lines []line
+	tick  uint64
+	stats Stats
+}
+
+// Snapshot captures the cache's full state: every line (tag, valid, dirty,
+// LRU), the LRU tick and the statistics.
+func (c *Cache) Snapshot() *State {
+	return &State{
+		lines: append([]line(nil), c.lines...),
+		tick:  c.tick,
+		stats: c.stats,
+	}
+}
+
+// Restore overwrites the cache's state from a snapshot. The snapshot must
+// come from an identically configured cache; the state is copied, never
+// aliased, so the snapshot stays reusable.
+func (c *Cache) Restore(s *State) error {
+	if len(s.lines) != len(c.lines) {
+		return fmt.Errorf("cache: snapshot has %d lines, cache has %d (geometry mismatch)",
+			len(s.lines), len(c.lines))
+	}
+	copy(c.lines, s.lines)
+	c.tick = s.tick
+	c.stats = s.stats
+	return nil
 }
 
 // Stats returns a copy of the counters.

@@ -164,6 +164,10 @@ type Engine struct {
 	space  *vm.AddressSpace
 	meter  *energy.Meter
 
+	// walkFn is space.Walk bound once at construction, so the per-lookup
+	// path does not materialize a fresh method value.
+	walkFn func(vpn uint64) uint64
+
 	cfr CFR
 	// pending is the software/BTB trigger: the CFR may not cover the next
 	// target, so the next consumed translation must consult the iTLB.
@@ -188,6 +192,7 @@ func NewEngine(scheme Scheme, style cache.Style, geom addr.Geometry,
 		itlb:   itlb,
 		space:  space,
 		meter:  meter,
+		walkFn: space.Walk,
 	}
 	// The OS invalidates the CFR when the mapped page is remapped or
 	// evicted, exactly as it would shoot down the iTLB entry (§3.2).
@@ -241,7 +246,7 @@ func (e *Engine) lookup(vpn uint64, cause Cause) (uint64, int) {
 	default:
 		e.stats.LookupsBase++
 	}
-	r := e.itlb.Lookup(vpn, e.space.Walk)
+	r := e.itlb.Lookup(vpn, e.walkFn)
 	e.stats.WalkCycles += uint64(r.ExtraCycles)
 	if e.scheme.UsesCFR() {
 		e.cfr = CFR{VPN: vpn, PFN: r.PFN, Valid: true}
@@ -340,6 +345,103 @@ func (e *Engine) cfrHit(pc addr.VAddr) FetchOutcome {
 		e.meter.AddCFRRead()
 	}
 	return FetchOutcome{PFN: e.geom.Translate(e.cfr.PFN, pc)}
+}
+
+// FetchTranslateRun batches the engine work for n consecutive correct-path
+// fetches that all hit vpn — the pipeline's fast path for sequential runs
+// within the CFR-resident page. It performs exactly the accounting n calls
+// to FetchTranslate (eager styles) or OnFetchObserved (lazy style) would:
+// per-fetch CFR reads and HoA comparator operations, with no CFR or iTLB
+// state change. It returns false — having done nothing — whenever any of
+// those n calls would have deviated from the pure CFR-hit path (Base's
+// unconditional lookups, a pending software trigger, a CFR miss), in which
+// case the caller must fall back to per-fetch calls.
+func (e *Engine) FetchTranslateRun(vpn uint64, n uint64) bool {
+	if e.style == cache.VIVT {
+		// Lazy style: translation happens on iL1 misses (which the caller
+		// still reports via OnIL1Miss); the only per-fetch engine work is
+		// HoA's comparator.
+		if e.scheme == HoA {
+			e.stats.Comparisons += n
+			if e.meter != nil {
+				e.meter.AddComparisons(n)
+			}
+		}
+		return true
+	}
+	switch e.scheme {
+	case OPT:
+		if !e.cfr.Covers(vpn) {
+			return false
+		}
+	case HoA:
+		if !e.cfr.Covers(vpn) {
+			return false
+		}
+		e.stats.Comparisons += n
+		if e.meter != nil {
+			e.meter.AddComparisons(n)
+		}
+	case SoCA, SoLA, IA:
+		if e.pending || !e.cfr.Valid || e.cfr.VPN != vpn {
+			return false
+		}
+	default: // Base consults the iTLB on every fetch
+		return false
+	}
+	e.stats.CFRHits += n
+	if e.meter != nil {
+		e.meter.AddCFRReads(n)
+	}
+	return true
+}
+
+// FetchTranslateRunWrong is the wrong-path analogue of FetchTranslateRun: it
+// batches n sequential wrong-path fetches of vpn, returning the frame number
+// to fetch from and whether batching was possible. It reproduces exactly what
+// n calls to FetchTranslate (or OnFetchObserved) with wrongPath=true would do
+// on their non-mutating paths: OPT walks the page table per fetch but records
+// nothing, the software schemes may consume a stale CFR frame without
+// counting it, and CFR hits and HoA comparisons count as usual. Any case that
+// would consult the iTLB returns false untouched.
+func (e *Engine) FetchTranslateRunWrong(vpn uint64, n uint64) (uint64, bool) {
+	if e.style == cache.VIVT {
+		if e.scheme == HoA {
+			e.stats.Comparisons += n
+			if e.meter != nil {
+				e.meter.AddComparisons(n)
+			}
+		}
+		return 0, true // translation happens at iL1 misses via OnIL1Miss
+	}
+	switch e.scheme {
+	case OPT:
+		return e.space.WalkN(vpn, n), true
+	case HoA:
+		if !e.cfr.Covers(vpn) {
+			return 0, false
+		}
+		e.stats.Comparisons += n
+		if e.meter != nil {
+			e.meter.AddComparisons(n)
+		}
+	case SoCA, SoLA, IA:
+		if e.pending || !e.cfr.Valid {
+			return 0, false
+		}
+		if e.cfr.VPN != vpn {
+			// Stale use: the squash discards the fetch, and wrong-path stale
+			// uses are not counted (see FetchTranslate).
+			return e.cfr.PFN, true
+		}
+	default: // Base consults the iTLB on every fetch
+		return 0, false
+	}
+	e.stats.CFRHits += n
+	if e.meter != nil {
+		e.meter.AddCFRReads(n)
+	}
+	return e.cfr.PFN, true
 }
 
 func (e *Engine) pendingOr(c Cause) Cause {
@@ -554,3 +656,38 @@ func (e *Engine) Restore(s State) {
 // LookupAtPred reports whether the last OnCTIPredicted performed an eager
 // lookup (needed by the pipeline to feed OnCTIResolved's case D).
 func (e *Engine) TookLookupAtPred() bool { return e.lookupAtPred }
+
+// EngineState is a deep snapshot of the engine's own state — the CFR, the
+// software trigger and the statistics — taken with Snapshot and reinstated
+// with RestoreSnapshot. It is the warm-checkpoint counterpart of the
+// per-branch Checkpoint/Restore pair (which deliberately excludes stats and
+// is taken/restored on every predicted CTI). The iTLB, address space and
+// meter are owned by the caller and snapshotted separately.
+type EngineState struct {
+	CFR          CFR
+	Pending      bool
+	PendingCause Cause
+	LookupAtPred bool
+	Stats        Stats
+}
+
+// Snapshot captures the engine's complete internal state.
+func (e *Engine) Snapshot() EngineState {
+	return EngineState{
+		CFR:          e.cfr,
+		Pending:      e.pending,
+		PendingCause: e.pendingCause,
+		LookupAtPred: e.lookupAtPred,
+		Stats:        e.stats,
+	}
+}
+
+// RestoreSnapshot overwrites the engine's state from a Snapshot. The engine
+// must have been constructed with the same scheme/style/geometry.
+func (e *Engine) RestoreSnapshot(s EngineState) {
+	e.cfr = s.CFR
+	e.pending = s.Pending
+	e.pendingCause = s.PendingCause
+	e.lookupAtPred = s.LookupAtPred
+	e.stats = s.Stats
+}

@@ -6,6 +6,7 @@ import (
 
 	"itlbcfr/internal/cache"
 	"itlbcfr/internal/core"
+	"itlbcfr/internal/energy"
 	"itlbcfr/internal/tlb"
 	"itlbcfr/internal/workload"
 )
@@ -22,6 +23,9 @@ type AxesSpec struct {
 	Styles    []string `json:"styles,omitempty"`
 	ITLBs     []string `json:"itlbs,omitempty"`
 	PageBytes []uint64 `json:"page_bytes,omitempty"`
+	// TechsNm varies the energy technology point by feature size in
+	// nanometres (the paper's default is 100).
+	TechsNm []float64 `json:"techs_nm,omitempty"`
 }
 
 // Axes resolves every name into the typed cross-product declaration.
@@ -65,6 +69,12 @@ func (s AxesSpec) Axes() (Axes, error) {
 			return Axes{}, fmt.Errorf("exp: page_bytes 0 (omit the dimension for the default)")
 		}
 		a.PageBytes = append(a.PageBytes, pb)
+	}
+	for _, nm := range s.TechsNm {
+		if nm <= 0 {
+			return Axes{}, fmt.Errorf("exp: techs_nm %v (must be positive)", nm)
+		}
+		a.Techs = append(a.Techs, &energy.Tech{FeatureNm: nm})
 	}
 	return a, nil
 }

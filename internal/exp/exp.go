@@ -28,6 +28,7 @@ func Specs() []Spec {
 		Table6Spec(), Table7Spec(), Table8Spec(),
 		Figure4Spec(), Figure5Spec(), Figure6Spec(),
 		PageSizeSweepSpec(), IL1SweepSpec(), DataCFRSweepSpec(), ContextSwitchSweepSpec(),
+		TechSweepSpec(),
 	}
 }
 
@@ -78,6 +79,7 @@ var specAliases = map[string]func() Spec{
 	"sweep-il1": IL1SweepSpec, "il1": IL1SweepSpec,
 	"sweep-dcfr": DataCFRSweepSpec, "dcfr": DataCFRSweepSpec,
 	"sweep-cswitch": ContextSwitchSweepSpec, "cswitch": ContextSwitchSweepSpec,
+	"sweep-tech": TechSweepSpec, "tech": TechSweepSpec,
 }
 
 // SpecByID resolves a table/figure identifier ("2", "figure4",
@@ -102,7 +104,8 @@ func ByID(ctx context.Context, r *Runner, id string) (Table, error) {
 // IDs lists the valid ByID identifiers.
 func IDs() []string {
 	ids := []string{"1", "2", "3", "4", "5", "6", "7", "8",
-		"figure4", "figure5", "figure6", "sweep-page", "sweep-il1", "sweep-dcfr", "sweep-cswitch"}
+		"figure4", "figure5", "figure6", "sweep-page", "sweep-il1", "sweep-dcfr", "sweep-cswitch",
+		"sweep-tech"}
 	sort.Strings(ids)
 	return ids
 }

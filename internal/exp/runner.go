@@ -41,6 +41,11 @@ type Runner struct {
 	// after every successful simulation.
 	Backing Backing
 
+	// DisableWarmFork turns off the shared warm-state pool, making every
+	// simulation execute its own warm-up. Results are byte-identical
+	// either way; this exists for ablation and as an escape hatch.
+	DisableWarmFork bool
+
 	// Metrics, when set before first use, exports the Runner's counters
 	// and per-stage timings (NewMetrics registers them in an obs.Registry).
 	// Left nil, the Runner lazily builds an unregistered set so Stats()
@@ -49,8 +54,23 @@ type Runner struct {
 
 	metricsOnce sync.Once
 
+	// warm is the shared warm-state pool: every simulation this Runner
+	// executes warms up through it, so configurations differing only in
+	// measured length or energy technology run one warm-up between them.
+	warm     *sim.WarmPool
+	warmOnce sync.Once
+
 	mu    sync.Mutex
 	cache map[string]*memoEntry
+}
+
+// pool returns the Runner's warm-state pool, nil when forking is disabled.
+func (r *Runner) pool() *sim.WarmPool {
+	if r.DisableWarmFork {
+		return nil
+	}
+	r.warmOnce.Do(func() { r.warm = sim.NewWarmPool() })
+	return r.warm
 }
 
 // met returns the Runner's metric set, building an unregistered one on
@@ -85,6 +105,10 @@ type Stats struct {
 	// summed per simulation (a parallel batch accumulates each worker's
 	// time, i.e. CPU-seconds of simulating, not pool wall time).
 	SimWall time.Duration `json:"sim_wall_ns"`
+	// Warm reports the shared warm-state pool: how many full warm-ups
+	// ran, how many simulations forked a pooled snapshot instead, and how
+	// many distinct warm states are resident.
+	Warm sim.WarmStats `json:"warm"`
 }
 
 // memoEntry is one memo slot. done is closed once res and err are valid;
@@ -261,7 +285,7 @@ func (r *Runner) Result(ctx context.Context, opt sim.Options) (sim.Result, error
 			r.settle(key, e, sim.Result{}, err, false)
 			return sim.Result{}, err
 		}
-		res, err := sim.Run(opt)
+		res, err := sim.RunWith(opt, r.pool())
 		if err == nil {
 			r.observeRun(res)
 		}
@@ -321,6 +345,7 @@ func (r *Runner) Prefetch(ctx context.Context, opts []sim.Options) error {
 	var firstErr error
 	sim.Batch(ctx, jobs, sim.BatchOptions{
 		Workers: r.Workers,
+		Pool:    r.pool(),
 		OnComplete: func(i int, res sim.Result, err error) {
 			if err == nil {
 				r.observeRun(res)
@@ -371,6 +396,7 @@ func (r *Runner) Batch(ctx context.Context, opts []sim.Options) ([]sim.Result, [
 	if len(jobs) > 0 {
 		sim.Batch(ctx, jobs, sim.BatchOptions{
 			Workers: r.Workers,
+			Pool:    r.pool(),
 			OnComplete: func(j int, res sim.Result, err error) {
 				if err == nil {
 					r.observeRun(res)
@@ -400,7 +426,12 @@ func (r *Runner) Runs() int { return int(r.met().Runs.Value()) }
 // Stats returns a snapshot of the Runner's counters.
 func (r *Runner) Stats() Stats {
 	m := r.met()
+	var warm sim.WarmStats
+	if p := r.pool(); p != nil {
+		warm = p.Stats()
+	}
 	return Stats{
+		Warm:        warm,
 		Runs:        int(m.Runs.Value()),
 		MemoHits:    int(m.MemoHits.Value()),
 		Coalesced:   int(m.Coalesced.Value()),

@@ -6,6 +6,7 @@ import (
 
 	"itlbcfr/internal/cache"
 	"itlbcfr/internal/core"
+	"itlbcfr/internal/energy"
 	"itlbcfr/internal/pipeline"
 	"itlbcfr/internal/sim"
 	"itlbcfr/internal/tlb"
@@ -24,6 +25,10 @@ type Axes struct {
 	ITLBs     []tlb.Config
 	PageBytes []uint64
 	Pipelines []*pipeline.Config
+	// Techs varies the energy technology point (nil entry = the paper's
+	// 0.1 µm default). Tech only rescales reported joules, so cells along
+	// this axis share one warm-up through the Runner's warm-state pool.
+	Techs []*energy.Tech
 }
 
 // Enumerate expands the cross product into concrete simulation options.
@@ -52,18 +57,25 @@ func (a Axes) Enumerate() []sim.Options {
 	if pipes == nil {
 		pipes = []*pipeline.Config{nil}
 	}
+	techs := a.Techs
+	if techs == nil {
+		techs = []*energy.Tech{nil}
+	}
 	out := make([]sim.Options, 0,
-		len(profiles)*len(schemes)*len(styles)*len(itlbs)*len(pages)*len(pipes))
+		len(profiles)*len(schemes)*len(styles)*len(itlbs)*len(pages)*len(pipes)*len(techs))
 	for _, pf := range profiles {
 		for _, sch := range schemes {
 			for _, st := range styles {
 				for _, it := range itlbs {
 					for _, pb := range pages {
 						for _, pc := range pipes {
-							out = append(out, sim.Options{
-								Profile: pf, Scheme: sch, Style: st,
-								ITLB: it, PageBytes: pb, Pipeline: pc,
-							})
+							for _, tc := range techs {
+								out = append(out, sim.Options{
+									Profile: pf, Scheme: sch, Style: st,
+									ITLB: it, PageBytes: pb, Pipeline: pc,
+									Tech: tc,
+								})
+							}
 						}
 					}
 				}

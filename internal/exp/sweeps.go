@@ -5,6 +5,7 @@ import (
 
 	"itlbcfr/internal/cache"
 	"itlbcfr/internal/core"
+	"itlbcfr/internal/energy"
 	"itlbcfr/internal/pipeline"
 	"itlbcfr/internal/sim"
 	"itlbcfr/internal/workload"
@@ -173,3 +174,45 @@ func ContextSwitchSweepSpec() Spec {
 
 // ContextSwitchSweep reproduces the §3.2 context-switch pressure sweep.
 func ContextSwitchSweep(r *Runner) Table { return mustGenerate(ContextSwitchSweepSpec(), r) }
+
+// TechSweepSpec declares the technology-scaling sweep: absolute iTLB+CFR
+// energy for Base and IA at the paper's 0.1 µm point and two shrinks. The
+// technology point only rescales joules — every architectural count is
+// identical across the row — so all three cells of a (benchmark, scheme)
+// pair share one warm-up through the Runner's warm-state pool, making this
+// the cheapest sweep per cell.
+func TechSweepSpec() Spec {
+	nms := []float64{100, 70, 50}
+	techs := make([]*energy.Tech, len(nms))
+	for i, nm := range nms {
+		techs[i] = &energy.Tech{FeatureNm: nm}
+	}
+	return Spec{
+		ID:      "Sweep T",
+		Title:   "Technology scaling: absolute iTLB+CFR energy (mJ), Base vs IA",
+		Columns: []string{"Benchmark", "100nm Base", "100nm IA", "70nm Base", "70nm IA", "50nm Base", "50nm IA"},
+		Notes: []string{
+			"shrinks rescale every unit energy identically, so IA's relative savings are technology-invariant",
+		},
+		Axes: []Axes{{
+			Schemes: []core.Scheme{core.Base, core.IA},
+			Techs:   techs,
+		}},
+		Rows: func(r *Runner) [][]string {
+			var rows [][]string
+			for _, p := range workload.Profiles() {
+				row := []string{p.Name}
+				for _, tc := range techs {
+					base := r.Get(sim.Options{Profile: p, Scheme: core.Base, Style: cache.VIPT, Tech: tc})
+					ia := r.Get(sim.Options{Profile: p, Scheme: core.IA, Style: cache.VIPT, Tech: tc})
+					row = append(row, f3(base.EnergyMJ), f3(ia.EnergyMJ))
+				}
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	}
+}
+
+// TechSweep renders the technology-scaling sweep.
+func TechSweep(r *Runner) Table { return mustGenerate(TechSweepSpec(), r) }

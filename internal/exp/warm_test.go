@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+)
+
+// renderTech regenerates the technology sweep — the sweep with the highest
+// warm-state sharing (three technology points per (benchmark, scheme) cell)
+// — and returns its rendered bytes plus the Runner's stats.
+func renderTech(t *testing.T, disableFork bool, workers int) (string, Stats) {
+	t.Helper()
+	r := NewRunner(20_000, 5_000)
+	r.Workers = workers
+	r.DisableWarmFork = disableFork
+	tb, err := ByID(context.Background(), r, "sweep-tech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteTables(&b, FormatText, []Table{tb}); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), r.Stats()
+}
+
+// TestWarmForkSweepByteIdentical is the sweep-level contract of the warm
+// pool: a parallel regeneration with warm-state forking must render byte
+// for byte what a fork-disabled regeneration renders, while executing each
+// distinct warm-up exactly once.
+func TestWarmForkSweepByteIdentical(t *testing.T) {
+	forked, fstats := renderTech(t, false, runtime.NumCPU())
+	plain, pstats := renderTech(t, true, runtime.NumCPU())
+	if forked != plain {
+		t.Fatalf("warm-forked sweep differs from fork-disabled sweep (lengths %d vs %d)",
+			len(forked), len(plain))
+	}
+
+	// Fork-disabled: the pool is off entirely.
+	if pstats.Warm.Warmups != 0 || pstats.Warm.Hits != 0 || pstats.Warm.Entries != 0 {
+		t.Errorf("DisableWarmFork still used the pool: %+v", pstats.Warm)
+	}
+
+	// Forked: every executed simulation either ran a warm-up (first of its
+	// key) or forked one — and each distinct warm key warmed exactly once.
+	// The tech sweep runs 6 benchmarks × 2 schemes × 3 technology points =
+	// 36 simulations over 12 warm keys.
+	w := fstats.Warm
+	if w.Warmups != uint64(w.Entries) {
+		t.Errorf("warm-ups (%d) != distinct warm states (%d): some key warmed twice",
+			w.Warmups, w.Entries)
+	}
+	if got, want := int(w.Warmups)+int(w.Hits), fstats.Runs; got != want {
+		t.Errorf("warm-ups (%d) + forks (%d) = %d, want one per executed run (%d)",
+			w.Warmups, w.Hits, got, want)
+	}
+	if w.Warmups*3 != uint64(fstats.Runs) {
+		t.Errorf("tech sweep should share each warm-up across its 3 technology points: "+
+			"%d warm-ups for %d runs", w.Warmups, fstats.Runs)
+	}
+}

@@ -72,32 +72,29 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// Kind-class bitmasks: the predicates below sit on the simulator's
+// per-instruction hot path, where a single shift-and-test beats a
+// multi-way comparison chain.
+const (
+	ctiMask    = 1<<CondBranch | 1<<Jump | 1<<Call | 1<<Ret | 1<<IndJump
+	directMask = 1<<CondBranch | 1<<Jump | 1<<Call
+	memMask    = 1<<Load | 1<<Store
+)
+
 // IsCTI reports whether k is a control-transfer instruction. Every CTI is a
 // "branch" in the paper's accounting: SoCA forces an iTLB lookup at the
 // target of each one.
-func (k Kind) IsCTI() bool {
-	switch k {
-	case CondBranch, Jump, Call, Ret, IndJump:
-		return true
-	}
-	return false
-}
+func (k Kind) IsCTI() bool { return ctiMask&(1<<k) != 0 }
 
 // IsDirect reports whether k's target is statically encoded, i.e. whether
 // the compiler can analyze it (Table 4 "Analyzable").
-func (k Kind) IsDirect() bool {
-	switch k {
-	case CondBranch, Jump, Call:
-		return true
-	}
-	return false
-}
+func (k Kind) IsDirect() bool { return directMask&(1<<k) != 0 }
 
 // IsConditional reports whether k consults the direction predictor.
 func (k Kind) IsConditional() bool { return k == CondBranch }
 
 // IsMem reports whether k accesses data memory.
-func (k Kind) IsMem() bool { return k == Load || k == Store }
+func (k Kind) IsMem() bool { return memMask&(1<<k) != 0 }
 
 // Inst is one decoded instruction of the synthetic code image.
 //
@@ -134,6 +131,13 @@ type Inst struct {
 	// DataStream selects which synthetic data address stream a Load/Store
 	// uses; streams have distinct working sets and strides.
 	DataStream uint8
+
+	// Plain caches !Kind.IsCTI() && !BoundaryStub. program.NewImage derives
+	// it for every instruction; the pipeline's bulk fetch path tests it
+	// instead of re-deriving both conditions per instruction. An unset Plain
+	// on instructions built outside NewImage merely keeps those instructions
+	// off the fast path — never an incorrect result.
+	Plain bool
 }
 
 // Latency returns the execution latency in cycles for the back-end model.

@@ -25,6 +25,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"itlbcfr/internal/addr"
@@ -65,14 +66,17 @@ type Config struct {
 	DataCFR bool
 
 	// ContextSwitchEvery injects a context switch every N committed
-	// instructions (0 = never): both TLBs flush, the CFR is saved and
-	// restored per §3.2, and the pipeline drains (one redirect penalty).
+	// instructions over the machine's lifetime — warm-up included; the
+	// cadence does not restart at ResetStats (0 = never). Both TLBs flush,
+	// the CFR is saved and restored per §3.2, and the pipeline drains (one
+	// redirect penalty).
 	ContextSwitchEvery uint64
 
 	// RemapEvery injects OS page-remap pressure every N committed
-	// instructions (0 = never): a rotating code page is migrated to a new
-	// frame, exercising the §3.2 invalidation contract (pinned pages are
-	// skipped, exactly as the OS defers moving the CFR-resident page).
+	// instructions over the machine's lifetime, on the same lifetime counter
+	// as ContextSwitchEvery (0 = never): a rotating code page is migrated to
+	// a new frame, exercising the §3.2 invalidation contract (pinned pages
+	// are skipped, exactly as the OS defers moving the CFR-resident page).
 	RemapEvery uint64
 }
 
@@ -170,6 +174,12 @@ func (r Result) IPC() float64 {
 	return float64(r.Committed) / float64(r.Cycles)
 }
 
+// stepBufLen sizes the correct-path step read-ahead buffer used with
+// program.Batcher sources: large enough to amortize the batched-call and
+// pre-refill snapshot overhead, small enough that a checkpoint replays it
+// instantly.
+const stepBufLen = 1024
+
 // Machine wires one benchmark image to one scheme/style configuration.
 type Machine struct {
 	cfg    Config
@@ -183,6 +193,27 @@ type Machine struct {
 	l2     *cache.Cache
 	dtlb   *tlb.TLB
 	pred   *bpred.Predictor
+
+	// Hot-path precomputation: every value below is fixed at construction
+	// and replaces a per-instruction switch, division or method call.
+	eager         bool                    // IL1Style is VIPT or PIPT (translate at fetch)
+	pipt          bool                    // IL1Style is PIPT
+	schemeBase    bool                    // engine scheme is core.Base
+	noCadence     bool                    // no periodic OS-pressure events configured
+	il1BlockShift uint                    // log2(IL1.BlockBytes)
+	invWidth      float64                 // 1 / min(IssueWidth, CommitWidth)
+	walkFn        func(vpn uint64) uint64 // bound m.space.Walk (avoids a per-miss closure)
+
+	// Correct-path step read-ahead. When the source is a program.Batcher,
+	// steps are pulled stepBufLen at a time into stepBuf and consumed from
+	// stepPos; srcState holds the source's position captured just before the
+	// last refill, which is what makes the read-ahead checkpointable.
+	batcher  program.Batcher
+	snap     program.Snapshotter
+	stepBuf  []program.Step
+	stepPos  int
+	srcState program.SourceState
+	one      program.Step // return slot for unbatched sources
 
 	frontCycle uint64
 	backCycle  float64
@@ -200,6 +231,14 @@ type Machine struct {
 	sequential bool   // next fetch follows the previous without redirect
 	lastBlock  uint64
 	haveBlock  bool
+
+	// totalCommitted and totalRemaps count over the machine's whole
+	// lifetime, unlike their res counterparts which ResetStats zeroes at the
+	// warm-up boundary. The periodic OS-pressure events key off these so
+	// their cadence — and the remap page rotation — is a property of the
+	// run, not of where the measurement phase starts.
+	totalCommitted uint64
+	totalRemaps    uint64
 
 	res Result
 }
@@ -227,6 +266,23 @@ func New(cfg Config, img *program.Image, ex program.Source,
 		pred:   bpred.New(cfg.Bpred),
 		slack:  float64(cfg.RUUSize) / float64(cfg.IssueWidth),
 	}
+	m.eager = cfg.IL1Style == cache.VIPT || cfg.IL1Style == cache.PIPT
+	m.pipt = cfg.IL1Style == cache.PIPT
+	m.schemeBase = engine.Scheme() == core.Base
+	m.noCadence = cfg.ContextSwitchEvery == 0 && cfg.RemapEvery == 0
+	m.il1BlockShift = uint(bits.TrailingZeros64(uint64(cfg.IL1.BlockBytes)))
+	width := cfg.IssueWidth
+	if cfg.CommitWidth < width {
+		width = cfg.CommitWidth
+	}
+	m.invWidth = 1 / float64(width)
+	m.walkFn = space.Walk
+	if b, ok := ex.(program.Batcher); ok {
+		m.batcher = b
+		m.stepBuf = make([]program.Step, stepBufLen)
+		m.stepPos = stepBufLen // empty: first nextStep refills
+	}
+	m.snap, _ = ex.(program.Snapshotter)
 	m.fetchPC = img.Entry
 	m.sequential = true
 	if cfg.DataCFR {
@@ -243,7 +299,9 @@ func New(cfg Config, img *program.Image, ex program.Source,
 
 // ResetStats discards all statistics gathered so far (warm-up) while keeping
 // microarchitectural state — cache/TLB/predictor contents, the CFR and the
-// clocks — intact.
+// clocks — intact. The periodic OS-pressure cadences (ContextSwitchEvery,
+// RemapEvery) are keyed to the lifetime commit counter and deliberately do
+// not restart here: resetting statistics must not move injected events.
 func (m *Machine) ResetStats() {
 	m.res = Result{}
 	m.cycleBase = m.frontCycle
@@ -284,39 +342,39 @@ func (m *Machine) Run(n uint64) Result {
 // iTLB was consulted.
 func (m *Machine) fetchInst(pc addr.VAddr, wrongPath bool) (stall int, usedTLB bool) {
 	var pa addr.PAddr
-	switch m.cfg.IL1Style {
-	case cache.VIPT, cache.PIPT:
+	if m.eager { // VIPT/PIPT translate at fetch
 		out := m.engine.FetchTranslate(pc, m.sequential, wrongPath)
 		stall += out.StallCycles
 		usedTLB = out.UsedTLB
 		pa = out.PFN
-	case cache.VIVT:
+	} else { // VIVT
 		m.engine.OnFetchObserved(pc)
 	}
 
 	// One iL1 probe per block touched.
-	blk := uint64(pc) / uint64(m.cfg.IL1.BlockBytes)
+	blk := uint64(pc) >> m.il1BlockShift
 	if m.haveBlock && blk == m.lastBlock {
 		return stall, usedTLB
 	}
 	m.lastBlock, m.haveBlock = blk, true
 
-	var r cache.Result
-	switch m.cfg.IL1Style {
-	case cache.VIVT:
-		r = m.il1.Access(uint64(pc), uint64(pc), false)
-	case cache.VIPT:
-		r = m.il1.Access(uint64(pc), uint64(pa), false)
-	case cache.PIPT:
-		r = m.il1.Access(uint64(pa), uint64(pa), false)
+	// VIVT indexes and tags virtually, VIPT indexes virtually and tags
+	// physically, PIPT does both physically.
+	idx, tag := uint64(pc), uint64(pc)
+	if m.eager {
+		tag = uint64(pa)
+		if m.pipt {
+			idx = uint64(pa)
+		}
 	}
+	r := m.il1.Access(idx, tag, false)
 	if r.Hit {
 		return stall, usedTLB
 	}
 
 	// iL1 miss: for VI-VT the translation happens now (Figure 1(c));
 	// eager styles already have the physical address.
-	if m.cfg.IL1Style == cache.VIVT {
+	if !m.eager {
 		out := m.engine.OnIL1Miss(pc, m.sequential, wrongPath)
 		stall += out.StallCycles
 		usedTLB = usedTLB || out.UsedTLB
@@ -329,8 +387,45 @@ func (m *Machine) fetchInst(pc addr.VAddr, wrongPath bool) (stall int, usedTLB b
 	return stall, usedTLB
 }
 
+// nextStep returns the next correct-path step. Batcher sources are pulled
+// stepBufLen steps at a time; srcState captures the source's position just
+// before each refill so Checkpoint can reproduce the read-ahead exactly.
+func (m *Machine) nextStep() *program.Step {
+	if m.batcher == nil {
+		m.one = m.ex.Step()
+		return &m.one
+	}
+	if m.stepPos == stepBufLen {
+		if m.snap != nil {
+			m.srcState = m.snap.SnapshotState()
+		}
+		m.batcher.StepN(m.stepBuf)
+		m.stepPos = 0
+	}
+	s := &m.stepBuf[m.stepPos]
+	m.stepPos++
+	return s
+}
+
+// chargeGroup closes one fetch group on the front-end clock: the base cycle,
+// the group's accumulated stalls, and — under PI-PT — the serialized
+// translation cycle when the group consulted the iTLB (or always, under the
+// Base scheme, which has no CFR to concatenate from). Every group that
+// fetched instructions must be charged through here, whether it ended
+// normally, on a redirect, or on a misprediction (§2, Table 8).
+func (m *Machine) chargeGroup(groupStall int, groupUsedTLB bool) {
+	m.frontCycle += uint64(1 + groupStall)
+	if m.pipt && (groupUsedTLB || m.schemeBase) {
+		m.frontCycle++
+	}
+	m.syncBackend()
+}
+
 // stepGroup fetches and executes one correct-path fetch group.
 func (m *Machine) stepGroup() {
+	if m.batcher != nil && m.noCadence && m.bulkGroups() {
+		return
+	}
 	groupStall := 0
 	groupUsedTLB := false
 	redirect := false
@@ -340,7 +435,7 @@ func (m *Machine) stepGroup() {
 			break
 		}
 		pc := m.fetchPC
-		s := m.ex.Step()
+		s := m.nextStep()
 		if s.PC != pc {
 			panic(fmt.Sprintf("pipeline: fetch desynchronized: fetch %#x, oracle %#x",
 				uint64(pc), uint64(s.PC)))
@@ -374,10 +469,11 @@ func (m *Machine) stepGroup() {
 			continue
 		}
 
-		// Misprediction: finish this group, fetch down the wrong path for
-		// the redirect penalty, then squash and restart at the real target.
-		m.frontCycle += uint64(1 + groupStall)
-		m.syncBackend()
+		// Misprediction: finish this group — including its PI-PT
+		// serialization cycle, which this group incurred like any other —
+		// fetch down the wrong path for the redirect penalty, then squash
+		// and restart at the real target.
+		m.chargeGroup(groupStall, groupUsedTLB)
 		wrongPC := pc + addr.InstBytes
 		if pred.Taken {
 			wrongPC = pred.Target
@@ -391,25 +487,133 @@ func (m *Machine) stepGroup() {
 		return
 	}
 
-	m.frontCycle += uint64(1 + groupStall)
-	if m.cfg.IL1Style == cache.PIPT && (groupUsedTLB || m.engine.Scheme() == core.Base) {
-		// PI-PT serializes translation before iL1 indexing (§2). With a
-		// valid CFR the concatenation is free; consulting the iTLB costs
-		// the serialized cycle the paper's Table 8 measures.
-		m.frontCycle++
+	m.chargeGroup(groupStall, groupUsedTLB)
+}
+
+// bulkGroups retires a run of whole fetch groups on a fast path. The run is
+// the longest prefix of buffered read-ahead steps that is plain — sequential
+// non-CTI, non-stub instructions whose successors stay inside the current
+// virtual page — trimmed to whole groups and to the current Run target. Such
+// a run cannot redirect, cross a page, touch the predictor, or (with the
+// periodic OS-pressure events disabled) mutate the CFR/iTLB under an eager
+// style, so the per-fetch engine work collapses into one counter-only
+// FetchTranslateRun call and the per-slot work reduces to block fills and
+// back-end accounting. Every architectural side effect — cache/TLB state,
+// clocks, statistics, energy — is bit-identical to the scalar path; the lazy
+// VI-VT style still routes iL1 misses through the ordinary OnIL1Miss event in
+// program order so CFR and iTLB state evolve exactly as they would scalar.
+// Returns false (having changed nothing) when no full group qualifies.
+func (m *Machine) bulkGroups() bool {
+	if m.stepPos == stepBufLen {
+		if m.snap != nil {
+			m.srcState = m.snap.SnapshotState()
+		}
+		m.batcher.StepN(m.stepBuf)
+		m.stepPos = 0
 	}
-	m.syncBackend()
+	w := m.cfg.FetchWidth
+	// Under an eager style nothing retired in bulk can refill or invalidate
+	// the CFR, so its frame number is a constant for the whole call. (Unused
+	// under VI-VT, where OnIL1Miss translates at misses.)
+	cfrPFN := m.engine.CFRState().PFN
+	did := false
+	for {
+		avail := stepBufLen - m.stepPos
+		if remain := m.runTarget - m.res.Committed; uint64(avail) > remain {
+			avail = int(remain)
+		}
+		if avail < w {
+			return did
+		}
+		i := m.stepPos
+		pc := m.fetchPC
+		vpn := m.geom.VPN(pc)
+		// Qualify one whole group before touching any state.
+		for k := 0; k < w; k++ {
+			s := &m.stepBuf[i+k]
+			if s.PC != pc || s.Next != pc+addr.InstBytes ||
+				!s.Inst.Plain || m.geom.VPN(s.Next) != vpn {
+				return did
+			}
+			pc += addr.InstBytes
+		}
+		if !m.engine.FetchTranslateRun(vpn, uint64(w)) {
+			return did
+		}
+		groupStall := 0
+		for k := 0; k < w; k++ {
+			s := &m.stepBuf[i+k]
+			if blk := uint64(s.PC) >> m.il1BlockShift; !m.haveBlock || blk != m.lastBlock {
+				m.lastBlock, m.haveBlock = blk, true
+				groupStall += m.bulkBlockFill(s.PC, cfrPFN, false)
+			}
+			// The first instruction after a redirect carries sequential=false
+			// into its (possible) VI-VT miss attribution, exactly like the
+			// scalar path; every later one is sequential.
+			m.sequential = true
+			// invWidth is added per instruction, not multiplied by w, so the
+			// floating-point sum matches the scalar path bit for bit.
+			m.backCycle += m.invWidth
+			if s.Inst.Kind.IsMem() {
+				m.accountMem(s)
+			}
+		}
+		m.res.Committed += uint64(w)
+		m.totalCommitted += uint64(w)
+		m.frontCycle += uint64(1 + groupStall)
+		m.syncBackend()
+		m.stepPos = i + w
+		m.fetchPC = pc
+		did = true
+	}
+}
+
+// bulkBlockFill charges one iL1 block probe (and any L2/DRAM fill) on the
+// bulk path. Eager styles already hold the translation (pfn); the lazy style
+// translates at the miss through the ordinary OnIL1Miss event.
+func (m *Machine) bulkBlockFill(pc addr.VAddr, pfn uint64, wrong bool) int {
+	if m.eager {
+		pa := m.geom.Translate(pfn, pc)
+		idx := uint64(pc)
+		if m.pipt {
+			idx = uint64(pa)
+		}
+		if r := m.il1.Access(idx, uint64(pa), false); r.Hit {
+			return 0
+		}
+		stall := m.cfg.L2.LatencyCycles
+		if lr := m.l2.Access(uint64(pa), uint64(pa), false); !lr.Hit {
+			stall += m.cfg.DRAMLatency
+		}
+		return stall
+	}
+	if r := m.il1.Access(uint64(pc), uint64(pc), false); r.Hit {
+		return 0
+	}
+	out := m.engine.OnIL1Miss(pc, m.sequential, wrong)
+	stall := out.StallCycles + m.cfg.L2.LatencyCycles
+	if lr := m.l2.Access(uint64(out.PFN), uint64(out.PFN), false); !lr.Hit {
+		stall += m.cfg.DRAMLatency
+	}
+	return stall
 }
 
 // runWrongPath fetches down the mispredicted path for `penalty` cycles.
-// Wrong-path instructions consume translation energy and pollute the iTLB,
-// iL1 and predictor state, but never commit.
+// Wrong-path instructions consume translation energy and pollute the iTLB
+// and iL1, and perturb the predictor's speculative structures — Predict
+// pushes and pops the RAS and touches BTB LRU — but never reach resolution,
+// so direction counters and BTB contents are not trained by them (matching
+// hardware, where bimodal/BTB updates happen at branch resolution).
 func (m *Machine) runWrongPath(start addr.VAddr, penalty uint64) {
 	deadline := m.frontCycle + penalty
 	wp := start
 	m.sequential = false
 	m.haveBlock = false
 	for m.frontCycle < deadline {
+		if n := m.wrongBulkGroup(wp); n > 0 {
+			wp += addr.VAddr(n) * addr.InstBytes
+			continue
+		}
 		groupStall := 0
 		for slot := 0; slot < m.cfg.FetchWidth; slot++ {
 			in := m.img.At(wp)
@@ -434,56 +638,107 @@ func (m *Machine) runWrongPath(start addr.VAddr, penalty uint64) {
 	}
 }
 
+// wrongBulkGroup retires one whole wrong-path fetch group on the fast path:
+// FetchWidth sequential non-CTI instructions inside one page, with the
+// per-fetch engine work batched by FetchTranslateRunWrong. It mirrors one
+// iteration of runWrongPath's scalar loop exactly — counters, cache and
+// CFR/iTLB state, stall charges — and returns 0 (having changed nothing)
+// when the group is not plain or the engine cannot batch it.
+func (m *Machine) wrongBulkGroup(wp addr.VAddr) int {
+	w := m.cfg.FetchWidth
+	vpn := m.geom.VPN(wp)
+	if m.geom.VPN(wp+addr.VAddr(w-1)*addr.InstBytes) != vpn {
+		return 0
+	}
+	for k := 0; k < w; k++ {
+		// Stubs are Jumps, so Plain here is exactly the scalar loop's
+		// IsCTI test.
+		if !m.img.At(wp + addr.VAddr(k)*addr.InstBytes).Plain {
+			return 0
+		}
+	}
+	pfn, ok := m.engine.FetchTranslateRunWrong(vpn, uint64(w))
+	if !ok {
+		return 0
+	}
+	groupStall := 0
+	pc := wp
+	for k := 0; k < w; k++ {
+		if blk := uint64(pc) >> m.il1BlockShift; !m.haveBlock || blk != m.lastBlock {
+			m.lastBlock, m.haveBlock = blk, true
+			groupStall += m.bulkBlockFill(pc, pfn, true)
+		}
+		// Match the scalar loop's attribution: only the group's first
+		// instruction can carry sequential=false into a VI-VT miss.
+		m.sequential = true
+		pc += addr.InstBytes
+	}
+	m.res.WrongPathFetches += uint64(w)
+	m.frontCycle += uint64(1 + groupStall)
+	return w
+}
+
 // accountCommit charges the back end for one committed instruction and
-// maintains the correct-path statistics.
-func (m *Machine) accountCommit(s program.Step) {
+// maintains the correct-path statistics. The periodic OS-pressure events key
+// off the lifetime commit counter, not the resettable statistic, so their
+// cadence is unaffected by where the warm-up boundary falls.
+func (m *Machine) accountCommit(s *program.Step) {
 	if s.Inst.BoundaryStub {
 		m.res.Stubs++
 	} else {
 		m.res.Committed++
-		if m.cfg.ContextSwitchEvery > 0 && m.res.Committed%m.cfg.ContextSwitchEvery == 0 {
+		m.totalCommitted++
+		if m.cfg.ContextSwitchEvery > 0 && m.totalCommitted%m.cfg.ContextSwitchEvery == 0 {
 			m.contextSwitch()
 		}
-		if m.cfg.RemapEvery > 0 && m.res.Committed%m.cfg.RemapEvery == 0 {
+		if m.cfg.RemapEvery > 0 && m.totalCommitted%m.cfg.RemapEvery == 0 {
 			m.injectRemap()
 		}
 	}
 
 	// Back-end bandwidth.
-	width := m.cfg.IssueWidth
-	if m.cfg.CommitWidth < width {
-		width = m.cfg.CommitWidth
-	}
-	m.backCycle += 1 / float64(width)
+	m.backCycle += m.invWidth
 
-	// Memory instructions go through dTLB and dL1. With the data-CFR
-	// extension enabled, same-page references ride the register instead.
 	if s.Inst.Kind.IsMem() {
-		vpn := m.geom.VPN(s.Data)
-		var pa addr.PAddr
-		if m.cfg.DataCFR && m.dcfrValid && m.dcfrVPN == vpn {
-			m.res.DCFRHits++
-			pa = m.geom.Translate(m.dcfrPFN, s.Data)
-		} else {
-			tr := m.dtlb.Lookup(vpn, m.space.Walk)
-			m.backCycle += float64(tr.ExtraCycles)
-			if m.cfg.DataCFR {
-				m.res.DCFRLookups++
-				m.dcfrVPN, m.dcfrPFN, m.dcfrValid = vpn, tr.PFN, true
-			}
-			pa = m.geom.Translate(tr.PFN, s.Data)
-		}
-		dr := m.dl1.Access(uint64(pa), uint64(pa), s.Inst.Kind == isa.Store)
-		if !dr.Hit {
-			lat := m.cfg.L2.LatencyCycles
-			if lr := m.l2.Access(uint64(pa), uint64(pa), dr.WriteBack); !lr.Hit {
-				lat += m.cfg.DRAMLatency
-			}
-			m.backCycle += float64(lat) * m.cfg.MLPFactor
-		}
+		m.accountMem(s)
 	}
 
 	// Correct-path page-crossing statistics (Table 2).
+	m.accountCross(s)
+}
+
+// accountMem charges one memory instruction: dTLB (or data CFR) and the
+// dL1/L2/DRAM hierarchy, with MLP-scaled exposed latency.
+func (m *Machine) accountMem(s *program.Step) {
+	// With the data-CFR extension enabled, same-page references ride the
+	// register instead of the dTLB.
+	vpn := m.geom.VPN(s.Data)
+	var pa addr.PAddr
+	if m.cfg.DataCFR && m.dcfrValid && m.dcfrVPN == vpn {
+		m.res.DCFRHits++
+		pa = m.geom.Translate(m.dcfrPFN, s.Data)
+	} else {
+		tr := m.dtlb.Lookup(vpn, m.walkFn)
+		m.backCycle += float64(tr.ExtraCycles)
+		if m.cfg.DataCFR {
+			m.res.DCFRLookups++
+			m.dcfrVPN, m.dcfrPFN, m.dcfrValid = vpn, tr.PFN, true
+		}
+		pa = m.geom.Translate(tr.PFN, s.Data)
+	}
+	dr := m.dl1.Access(uint64(pa), uint64(pa), s.Inst.Kind == isa.Store)
+	if !dr.Hit {
+		lat := m.cfg.L2.LatencyCycles
+		if lr := m.l2.Access(uint64(pa), uint64(pa), dr.WriteBack); !lr.Hit {
+			lat += m.cfg.DRAMLatency
+		}
+		m.backCycle += float64(lat) * m.cfg.MLPFactor
+	}
+}
+
+// accountCross maintains the page-crossing and dynamic-branch statistics
+// (Tables 2 and 4) for one committed instruction.
+func (m *Machine) accountCross(s *program.Step) {
 	if !m.geom.SamePage(s.PC, s.Next) {
 		if s.Next == s.PC+addr.InstBytes || s.Inst.BoundaryStub {
 			m.res.CrossBoundary++
@@ -524,11 +779,12 @@ func (m *Machine) contextSwitch() {
 // the Denied path of the §3.2 contract.
 func (m *Machine) injectRemap() {
 	m.res.Remaps++
+	m.totalRemaps++
 	pages := uint64(m.img.Pages())
 	if pages == 0 {
 		return
 	}
-	vpn := m.geom.VPN(m.img.Base) + (m.res.Remaps % pages)
+	vpn := m.geom.VPN(m.img.Base) + (m.totalRemaps % pages)
 	if _, err := m.space.Remap(vpn); err != nil {
 		m.res.RemapsDeferred++
 	}
@@ -544,4 +800,138 @@ func (m *Machine) syncBackend() {
 	if m.backCycle > float64(m.frontCycle)+m.slack {
 		m.frontCycle = uint64(m.backCycle - m.slack)
 	}
+}
+
+// MachineState is a deep snapshot of everything a Machine owns: its clocks,
+// fetch state, statistics, the iL1/dL1/L2/dTLB/predictor contents, and the
+// correct-path source position (including the step read-ahead buffer). It
+// does NOT cover the components the machine borrows — the engine (CFR), the
+// iTLB and the address space belong to the caller, which must snapshot them
+// alongside (core.Engine.Snapshot, tlb.TLB.Snapshot, vm.AddressSpace.Snapshot)
+// for a complete warm image. The state shares no mutable memory with the
+// machine, so one snapshot can seed many machines concurrently.
+type MachineState struct {
+	frontCycle uint64
+	backCycle  float64
+	cycleBase  uint64
+	backBase   float64
+
+	dcfrVPN   uint64
+	dcfrPFN   uint64
+	dcfrValid bool
+
+	fetchPC        addr.VAddr
+	sequential     bool
+	lastBlock      uint64
+	haveBlock      bool
+	totalCommitted uint64
+	totalRemaps    uint64
+	res            Result
+
+	il1  *cache.State
+	dl1  *cache.State
+	l2   *cache.State
+	dtlb *tlb.State
+	pred *bpred.State
+
+	// Source position. When srcAhead is set the source had been pulled
+	// stepPos..stepBufLen steps ahead of the machine: src is its position
+	// from just before the last buffer refill, and Restore re-runs that
+	// refill to rebuild the identical buffer contents.
+	src      program.SourceState
+	srcAhead bool
+	stepPos  int
+}
+
+// Checkpoint captures the machine's warm state. It reports false when the
+// correct-path source does not implement program.Snapshotter, in which case
+// the machine cannot be forked and callers fall back to a full warm-up.
+func (m *Machine) Checkpoint() (*MachineState, bool) {
+	if m.snap == nil {
+		return nil, false
+	}
+	st := &MachineState{
+		frontCycle:     m.frontCycle,
+		backCycle:      m.backCycle,
+		cycleBase:      m.cycleBase,
+		backBase:       m.backBase,
+		dcfrVPN:        m.dcfrVPN,
+		dcfrPFN:        m.dcfrPFN,
+		dcfrValid:      m.dcfrValid,
+		fetchPC:        m.fetchPC,
+		sequential:     m.sequential,
+		lastBlock:      m.lastBlock,
+		haveBlock:      m.haveBlock,
+		totalCommitted: m.totalCommitted,
+		totalRemaps:    m.totalRemaps,
+		res:            m.res,
+		il1:            m.il1.Snapshot(),
+		dl1:            m.dl1.Snapshot(),
+		l2:             m.l2.Snapshot(),
+		dtlb:           m.dtlb.Snapshot(),
+		pred:           m.pred.Snapshot(),
+	}
+	if m.batcher != nil && m.stepPos < stepBufLen {
+		st.src = m.srcState
+		st.srcAhead = true
+		st.stepPos = m.stepPos
+	} else {
+		st.src = m.snap.SnapshotState()
+	}
+	return st, true
+}
+
+// Restore reinstates a state captured by Checkpoint on a machine built with
+// the same configuration, image and source kind. The caller is responsible
+// for restoring the borrowed components (engine, iTLB, address space) to the
+// matching snapshot — a machine restored without them will desynchronize.
+func (m *Machine) Restore(st *MachineState) error {
+	if m.snap == nil {
+		return fmt.Errorf("pipeline: source %T cannot restore state", m.ex)
+	}
+	if st.srcAhead && m.batcher == nil {
+		return fmt.Errorf("pipeline: state has buffered read-ahead but source %T is not a Batcher", m.ex)
+	}
+	if err := m.il1.Restore(st.il1); err != nil {
+		return fmt.Errorf("pipeline: iL1: %w", err)
+	}
+	if err := m.dl1.Restore(st.dl1); err != nil {
+		return fmt.Errorf("pipeline: dL1: %w", err)
+	}
+	if err := m.l2.Restore(st.l2); err != nil {
+		return fmt.Errorf("pipeline: L2: %w", err)
+	}
+	if err := m.dtlb.Restore(st.dtlb); err != nil {
+		return fmt.Errorf("pipeline: dTLB: %w", err)
+	}
+	if err := m.pred.Restore(st.pred); err != nil {
+		return fmt.Errorf("pipeline: predictor: %w", err)
+	}
+	if err := m.snap.RestoreState(st.src); err != nil {
+		return fmt.Errorf("pipeline: source: %w", err)
+	}
+	if st.srcAhead {
+		// Re-run the refill the checkpointed machine had already done; the
+		// source is deterministic, so the buffer contents come out identical.
+		m.srcState = st.src
+		m.batcher.StepN(m.stepBuf)
+		m.stepPos = st.stepPos
+	} else if m.batcher != nil {
+		m.stepPos = stepBufLen
+	}
+	m.frontCycle = st.frontCycle
+	m.backCycle = st.backCycle
+	m.cycleBase = st.cycleBase
+	m.backBase = st.backBase
+	m.dcfrVPN = st.dcfrVPN
+	m.dcfrPFN = st.dcfrPFN
+	m.dcfrValid = st.dcfrValid
+	m.fetchPC = st.fetchPC
+	m.sequential = st.sequential
+	m.lastBlock = st.lastBlock
+	m.haveBlock = st.haveBlock
+	m.totalCommitted = st.totalCommitted
+	m.totalRemaps = st.totalRemaps
+	m.res = st.res
+	return nil
 }

@@ -35,9 +35,16 @@ type Image struct {
 	nop isa.Inst
 }
 
-// NewImage wraps code into an image. Entry defaults to Base.
+// NewImage wraps code into an image. Entry defaults to Base. The derived
+// per-instruction Plain bit is (re)computed here so every constructor path
+// agrees with the Kind/BoundaryStub fields it summarizes.
 func NewImage(name string, base addr.VAddr, geom addr.Geometry, code []isa.Inst) *Image {
-	return &Image{Name: name, Base: base, Code: code, Geom: geom, Entry: base}
+	for i := range code {
+		code[i].Plain = !code[i].Kind.IsCTI() && !code[i].BoundaryStub
+	}
+	im := &Image{Name: name, Base: base, Code: code, Geom: geom, Entry: base}
+	im.nop.Plain = true
+	return im
 }
 
 // Len returns the number of instructions.
@@ -123,6 +130,35 @@ type Source interface {
 	Step() Step
 }
 
+// Batcher is an optional Source extension the pipeline uses to amortize
+// per-instruction interface dispatch: StepN fills dst completely (sources
+// never end), equivalent to len(dst) consecutive Step calls. The pipeline
+// buffers the produced steps, so a Batcher may be asked for steps well ahead
+// of what the machine has consumed — which is always safe, because a Source
+// is by contract independent of machine state.
+type Batcher interface {
+	Source
+	StepN(dst []Step)
+}
+
+// SourceState is an opaque deep snapshot of a Source's progress, produced by
+// a Snapshotter. It must not alias mutable source memory: restoring the same
+// state onto several fresh sources concurrently must be safe.
+type SourceState interface{}
+
+// Snapshotter is an optional Source extension for warm-state forking: a
+// deterministic source can capture its position and reinstate it on a fresh
+// source built over the same underlying workload, which then reproduces the
+// exact step sequence the original would have produced.
+type Snapshotter interface {
+	Source
+	// SnapshotState captures the source's current position.
+	SnapshotState() SourceState
+	// RestoreState rewinds this source to a previously captured position.
+	// It fails if the state came from a differently configured source.
+	RestoreState(state SourceState) error
+}
+
 // DataStreamConfig shapes one synthetic data reference stream.
 type DataStreamConfig struct {
 	Base addr.VAddr
@@ -142,6 +178,7 @@ const maxCallDepth = 4096
 // Executor interprets an Image along its correct path.
 type Executor struct {
 	img     *Image
+	end     addr.VAddr // cached img.End() for the per-step bounds check
 	pc      addr.VAddr
 	stack   []addr.VAddr
 	rng     *xrand.Source
@@ -153,6 +190,12 @@ type Executor struct {
 type dataStream struct {
 	cfg DataStreamConfig
 	pos uint64
+
+	// Hot-path copies of the configuration, with defaults resolved once.
+	ws       uint64
+	stride   uint64
+	jumpProb float64
+	base     addr.VAddr
 }
 
 // NewExecutor builds an executor starting at the image entry.
@@ -160,6 +203,7 @@ type dataStream struct {
 func NewExecutor(img *Image, seed uint64, streams []DataStreamConfig) *Executor {
 	ex := &Executor{
 		img: img,
+		end: img.End(),
 		pc:  img.Entry,
 		rng: xrand.New(seed ^ 0xA5A5_5A5A_1234_5678),
 	}
@@ -172,7 +216,13 @@ func NewExecutor(img *Image, seed uint64, streams []DataStreamConfig) *Executor 
 		}}
 	}
 	for _, sc := range streams {
-		ex.streams = append(ex.streams, dataStream{cfg: sc})
+		ws := sc.WorkingSetBytes
+		if ws == 0 {
+			ws = 1 << 16
+		}
+		ex.streams = append(ex.streams, dataStream{
+			cfg: sc, ws: ws, stride: sc.StrideBytes, jumpProb: sc.JumpProb, base: sc.Base,
+		})
 	}
 	return ex
 }
@@ -188,12 +238,35 @@ func (ex *Executor) CallDepth() int { return len(ex.stack) }
 
 // Step executes one instruction and returns what happened.
 func (ex *Executor) Step() Step {
-	pc := ex.pc
-	if !ex.img.Contains(pc) {
-		panic(fmt.Sprintf("program %s: correct path escaped image at %#x", ex.img.Name, uint64(pc)))
+	var st Step
+	ex.stepInto(&st)
+	return st
+}
+
+// StepN executes len(dst) instructions, writing each outcome in place —
+// program.Batcher for the pipeline's step buffer. Equivalent to len(dst)
+// consecutive Step calls (same RNG consumption, same stack discipline), but
+// the per-instruction work runs in one tight loop without interface dispatch
+// or struct-return copies.
+func (ex *Executor) StepN(dst []Step) {
+	for i := range dst {
+		ex.stepInto(&dst[i])
 	}
-	in := ex.img.At(pc)
-	st := Step{PC: pc, Inst: in, Next: pc + addr.InstBytes}
+}
+
+// stepInto is the single-instruction interpreter shared by Step and StepN.
+func (ex *Executor) stepInto(st *Step) {
+	pc := ex.pc
+	img := ex.img
+	if pc < img.Base || pc >= ex.end {
+		panic(fmt.Sprintf("program %s: correct path escaped image at %#x", img.Name, uint64(pc)))
+	}
+	in := &img.Code[(pc-img.Base)/addr.InstBytes]
+	st.PC = pc
+	st.Inst = in
+	st.Taken = false
+	st.Next = pc + addr.InstBytes
+	st.Data = 0
 
 	switch in.Kind {
 	case isa.CondBranch:
@@ -218,7 +291,7 @@ func (ex *Executor) Step() Step {
 		} else {
 			// Unmatched return: restart at the entry. The generator emits
 			// matched pairs, so this is a safety net, not a hot path.
-			st.Next = ex.img.Entry
+			st.Next = img.Entry
 		}
 	case isa.IndJump:
 		st.Taken = true
@@ -229,7 +302,53 @@ func (ex *Executor) Step() Step {
 
 	ex.pc = st.Next
 	ex.steps++
-	return st
+}
+
+// executorState is the Executor's SourceState: position, call stack, RNG
+// cursor and per-stream data positions. Everything is copied, nothing
+// aliased, so a published state can seed many executors concurrently.
+type executorState struct {
+	pc    addr.VAddr
+	stack []addr.VAddr
+	rng   uint64
+	pos   []uint64
+	steps uint64
+}
+
+// SnapshotState captures the executor's exact position (program.Snapshotter).
+func (ex *Executor) SnapshotState() SourceState {
+	s := &executorState{
+		pc:    ex.pc,
+		stack: append([]addr.VAddr(nil), ex.stack...),
+		rng:   ex.rng.State(),
+		pos:   make([]uint64, len(ex.streams)),
+		steps: ex.steps,
+	}
+	for i := range ex.streams {
+		s.pos[i] = ex.streams[i].pos
+	}
+	return s
+}
+
+// RestoreState rewinds the executor to a position captured by SnapshotState
+// on an executor built over the same image, seed and stream configuration.
+func (ex *Executor) RestoreState(state SourceState) error {
+	s, ok := state.(*executorState)
+	if !ok {
+		return fmt.Errorf("program: %T is not an executor state", state)
+	}
+	if len(s.pos) != len(ex.streams) {
+		return fmt.Errorf("program: state has %d data streams, executor has %d",
+			len(s.pos), len(ex.streams))
+	}
+	ex.pc = s.pc
+	ex.stack = append(ex.stack[:0], s.stack...)
+	ex.rng.SetState(s.rng)
+	for i := range ex.streams {
+		ex.streams[i].pos = s.pos[i]
+	}
+	ex.steps = s.steps
+	return nil
 }
 
 // pickIndirect selects an indirect target, skewed toward the first entry so
@@ -251,14 +370,15 @@ func (ex *Executor) nextData(stream int) addr.VAddr {
 		stream = stream % len(ex.streams)
 	}
 	ds := &ex.streams[stream]
-	ws := ds.cfg.WorkingSetBytes
-	if ws == 0 {
-		ws = 1 << 16
-	}
-	if ds.cfg.JumpProb > 0 && ex.rng.Bool(ds.cfg.JumpProb) {
-		ds.pos = ex.rng.Uint64() % ws
+	if ds.jumpProb > 0 && ex.rng.Bool(ds.jumpProb) {
+		ds.pos = ex.rng.Uint64() % ds.ws
 	} else {
-		ds.pos = (ds.pos + ds.cfg.StrideBytes) % ws
+		// pos stays < ws between calls, so one add plus a rare reduction is
+		// exactly (pos+stride) % ws without the per-access integer division.
+		ds.pos += ds.stride
+		if ds.pos >= ds.ws {
+			ds.pos %= ds.ws
+		}
 	}
-	return ds.cfg.Base + addr.VAddr(ds.pos)
+	return ds.base + addr.VAddr(ds.pos)
 }

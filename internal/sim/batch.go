@@ -18,6 +18,11 @@ type BatchOptions struct {
 	// was done). Calls are serialized, so OnComplete need not be
 	// goroutine-safe, but a slow callback stalls the pool.
 	OnComplete func(index int, res Result, err error)
+
+	// Pool, when non-nil, shares warm-up work across the batch: jobs with
+	// equal warm keys execute one warm-up and fork its snapshot (see
+	// WarmPool). Results are byte-identical with or without it.
+	Pool *WarmPool
 }
 
 // Batch runs every job over a bounded worker pool and returns results and
@@ -31,7 +36,7 @@ func Batch(ctx context.Context, jobs []Options, opts BatchOptions) ([]Result, []
 	errs := make([]error, len(jobs))
 	runBatch(ctx, len(jobs), opts.Workers, func(i int) error {
 		var err error
-		results[i], err = Run(jobs[i])
+		results[i], err = RunWith(jobs[i], opts.Pool)
 		return err
 	}, func(i int, err error) {
 		errs[i] = err

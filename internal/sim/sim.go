@@ -178,27 +178,42 @@ func (o Options) BenchName() string {
 	return o.Profile.Name
 }
 
-// Run builds and executes one simulation.
-func Run(opt Options) (Result, error) {
-	if err := opt.Validate(); err != nil {
-		return Result{}, err
-	}
+// built is one fully constructed simulation, positioned at instruction
+// zero, cold. It is the unit the warm-state pool operates on: runWarm
+// advances it to the measured window the slow way, checkpoint captures that
+// window's complete state, and restore teleports an equivalent cold build
+// straight there.
+type built struct {
+	n, warm uint64
+
+	machine *pipeline.Machine
+	engine  *core.Engine
+	itlb    *tlb.TLB
+	space   *vm.AddressSpace
+	meter   *energy.Meter
+
+	closer io.Closer // trace replay stream, nil for synthetic workloads
+	setup  float64   // construction wall seconds
+}
+
+// build constructs the full simulation stack for opt (already validated):
+// workload, compiler, CFR engine, energy meter and pipeline.
+func build(opt Options) (*built, error) {
 	setupStart := time.Now()
 
-	n := opt.Instructions
-	if n == 0 {
-		n = DefaultInstructions
+	b := &built{n: opt.Instructions, warm: opt.Warmup}
+	if b.n == 0 {
+		b.n = DefaultInstructions
 	}
-	warm := opt.Warmup
-	if warm == 0 {
-		warm = DefaultWarmup
+	if opt.Warmup == 0 {
+		b.warm = DefaultWarmup
 	}
 
 	geom := addr.DefaultGeometry
 	if opt.PageBytes != 0 {
 		g, err := addr.NewGeometry(opt.PageBytes)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		geom = g
 	}
@@ -211,26 +226,26 @@ func Run(opt Options) (Result, error) {
 	var src program.Source
 	if opt.Trace != nil {
 		if opt.Trace.Open == nil {
-			return Result{}, fmt.Errorf("sim: trace %s is not openable here (no stream attached)", opt.Trace.Key)
+			return nil, fmt.Errorf("sim: trace %s is not openable here (no stream attached)", opt.Trace.Key)
 		}
 		rep, err := trace.NewReplay(opt.Trace.Open, opt.Trace.Key, geom, opt.Scheme.NeedsStubs())
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		defer rep.Close()
+		b.closer = rep
 		compiled = rep.Image()
 		src = rep
 	} else {
 		img, err := workload.Generate(opt.Profile)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		img.Geom = geom
 		c, _, err := compiler.Compile(img, compiler.Options{
 			InsertBoundaryStubs: opt.Scheme.NeedsStubs(),
 		})
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		compiled = c
 		src = program.NewExecutor(compiled, opt.Profile.Seed^0xC0FFEE, opt.Profile.DataStreams())
@@ -245,11 +260,11 @@ func Run(opt Options) (Result, error) {
 		tech = *opt.Tech
 	}
 
-	space := vm.New(geom, 1)
-	itlb := tlb.New(itlbCfg)
-	meter := energy.NewMeter(energy.NewModel(tech), itlbCfg.EntriesPerLevel(), itlbCfg.AssocPerLevel())
-	itlb.AttachMeter(meter)
-	engine := core.NewEngine(opt.Scheme, opt.Style, geom, itlb, space, meter)
+	b.space = vm.New(geom, 1)
+	b.itlb = tlb.New(itlbCfg)
+	b.meter = energy.NewMeter(energy.NewModel(tech), itlbCfg.EntriesPerLevel(), itlbCfg.AssocPerLevel())
+	b.itlb.AttachMeter(b.meter)
+	b.engine = core.NewEngine(opt.Scheme, opt.Style, geom, b.itlb, b.space, b.meter)
 
 	pcfg := DefaultPipeline()
 	if opt.Pipeline != nil {
@@ -257,25 +272,94 @@ func Run(opt Options) (Result, error) {
 	}
 	pcfg.IL1Style = opt.Style
 
-	machine, err := pipeline.New(pcfg, compiled, src, engine, space)
+	m, err := pipeline.New(pcfg, compiled, src, b.engine, b.space)
+	if err != nil {
+		if b.closer != nil {
+			b.closer.Close()
+		}
+		return nil, err
+	}
+	b.machine = m
+	b.setup = time.Since(setupStart).Seconds()
+	return b, nil
+}
+
+// runWarm executes the warm-up phase and resets every statistic, leaving
+// the simulation at the start of its measured window.
+func (b *built) runWarm() {
+	b.machine.Run(b.warm)
+	b.machine.ResetStats()
+	b.meter.Reset()
+	b.itlb.ResetStats()
+}
+
+// checkpoint captures the complete post-warm-up state — machine, engine,
+// iTLB and address space; the meter is zero at this point by construction
+// and needs no capture. Returns nil when the correct-path source cannot be
+// snapshotted.
+func (b *built) checkpoint() *warmState {
+	mst, ok := b.machine.Checkpoint()
+	if !ok {
+		return nil
+	}
+	return &warmState{
+		machine: mst,
+		engine:  b.engine.Snapshot(),
+		itlb:    b.itlb.Snapshot(),
+		space:   b.space.Snapshot(),
+	}
+}
+
+// restore teleports a cold build to a pooled post-warm-up state. The build
+// must have been constructed from options with an equal warm key.
+func (b *built) restore(ws *warmState) error {
+	b.space.Restore(ws.space)
+	if err := b.itlb.Restore(ws.itlb); err != nil {
+		return fmt.Errorf("sim: iTLB: %w", err)
+	}
+	b.engine.RestoreSnapshot(ws.engine)
+	return b.machine.Restore(ws.machine)
+}
+
+// Run builds and executes one simulation.
+func Run(opt Options) (Result, error) { return RunWith(opt, nil) }
+
+// RunWith is Run with a warm-state pool: when pool is non-nil and another
+// simulation with the same warm key (see WarmPool) has already run its
+// warm-up, this one forks the pooled post-warm-up state instead of
+// re-executing the warm-up — byte-identical results, a fraction of the
+// time. A nil pool makes RunWith exactly Run.
+func RunWith(opt Options, pool *WarmPool) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	b, err := build(opt)
 	if err != nil {
 		return Result{}, err
 	}
-
-	timing := Timing{SetupSeconds: time.Since(setupStart).Seconds()}
-	if warm > 0 {
-		wres := machine.Run(warm)
-		timing.WarmupSeconds = wres.WallSeconds
-		machine.ResetStats()
-		meter.Reset()
-		itlb.ResetStats()
+	if b.closer != nil {
+		defer b.closer.Close()
 	}
-	res := machine.Run(n)
+
+	timing := Timing{SetupSeconds: b.setup}
+	if b.warm > 0 {
+		warmStart := time.Now()
+		if pool != nil {
+			err = pool.warmup(opt, b)
+		} else {
+			b.runWarm()
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		timing.WarmupSeconds = time.Since(warmStart).Seconds()
+	}
+	res := b.machine.Run(b.n)
 	timing.MeasureSeconds = res.WallSeconds
 	timing.InstPerSec = res.InstPerSec()
-	meter.AddStubs(res.Stubs)
-	res.EnergyMJ = meter.TotalMJ()
-	res.ITLB = itlb.Stats()
+	b.meter.AddStubs(res.Stubs)
+	res.EnergyMJ = b.meter.TotalMJ()
+	res.ITLB = b.itlb.Stats()
 
 	if res.Engine.StaleUses != 0 {
 		return Result{}, fmt.Errorf("sim: %d stale CFR uses on the correct path (%s/%s/%s): translation contract violated",

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"itlbcfr/internal/addr"
+	"itlbcfr/internal/cache"
+	"itlbcfr/internal/core"
+	"itlbcfr/internal/energy"
+	"itlbcfr/internal/pipeline"
+	"itlbcfr/internal/tlb"
+	"itlbcfr/internal/vm"
+	"itlbcfr/internal/workload"
+)
+
+// warmState is one pooled post-warm-up snapshot: the machine (clocks,
+// caches, dTLB, predictor, source position), the CFR engine, the iTLB and
+// the address space — everything RunWith needs to restart a fresh build at
+// the measured window. Every component snapshot is copy-on-restore, so one
+// warmState safely seeds any number of concurrent simulations. The energy
+// meter is deliberately absent: it is zero at the warm-up boundary.
+type warmState struct {
+	machine *pipeline.MachineState
+	engine  core.EngineState
+	itlb    *tlb.State
+	space   *vm.State
+}
+
+// warmKey is the identity of a warm-up: every Options field that can
+// influence the first Warmup instructions, with defaults resolved so
+// spellings of the same configuration share a slot. Instructions is
+// excluded because the measured length only matters after the boundary;
+// Tech is excluded because the energy technology scales reported joules
+// without touching a single architectural decision (and the meter is reset
+// at the boundary anyway). This key is deliberately finer than "benchmark ×
+// warm-up length": the scheme, style, iTLB, page size and pipeline all
+// shape cache/TLB/CFR contents during warm-up, so two runs differing in any
+// of them must not share state.
+type warmKey struct {
+	Profile   workload.Profile `json:"profile"`
+	TraceKey  string           `json:"trace,omitempty"`
+	Scheme    core.Scheme      `json:"scheme"`
+	Style     cache.Style      `json:"style"`
+	ITLB      tlb.Config       `json:"itlb"`
+	Warmup    uint64           `json:"warmup"`
+	PageBytes uint64           `json:"page_bytes"`
+	Pipeline  pipeline.Config  `json:"pipeline"`
+	Tech      *energy.Tech     `json:"-"` // documented exclusion, never set
+}
+
+// keyOf renders opt's warm identity as a canonical string.
+func keyOf(opt Options) string {
+	k := warmKey{
+		Profile:   opt.Profile,
+		Scheme:    opt.Scheme,
+		Style:     opt.Style,
+		ITLB:      opt.ITLB,
+		Warmup:    opt.Warmup,
+		PageBytes: opt.PageBytes,
+	}
+	if opt.Trace != nil {
+		k.TraceKey = opt.Trace.Key
+		k.Profile = workload.Profile{} // ignored under a trace workload
+	}
+	if len(k.ITLB.Levels) == 0 {
+		k.ITLB = DefaultITLB()
+	}
+	if k.Warmup == 0 {
+		k.Warmup = DefaultWarmup
+	}
+	if k.PageBytes == 0 {
+		k.PageBytes = addr.DefaultGeometry.PageBytes()
+	}
+	k.Pipeline = DefaultPipeline()
+	if opt.Pipeline != nil {
+		k.Pipeline = *opt.Pipeline
+	}
+	k.Pipeline.IL1Style = opt.Style
+	buf, err := json.Marshal(k)
+	if err != nil {
+		panic(fmt.Sprintf("sim: warm key not marshalable: %v", err))
+	}
+	return string(buf)
+}
+
+// WarmStats counts a pool's activity.
+type WarmStats struct {
+	// Warmups is how many full warm-up phases executed (one per distinct
+	// warm key, plus any fallbacks for unsnapshotable sources).
+	Warmups uint64 `json:"warmups"`
+	// Hits is how many simulations forked a pooled state instead of
+	// warming up.
+	Hits uint64 `json:"hits"`
+	// Entries is how many distinct warm states are resident.
+	Entries int `json:"entries"`
+}
+
+// warmEntry is one pool slot. ready is closed once state is valid; a nil
+// state after ready means the owner's source could not be snapshotted and
+// waiters must warm up on their own.
+type warmEntry struct {
+	ready chan struct{}
+	state *warmState
+}
+
+// WarmPool deduplicates warm-up work across simulations. The first RunWith
+// for a given warm key executes the warm-up and publishes a deep snapshot
+// of the post-warm-up state; every later RunWith with the same key — no
+// matter how its measured length or energy technology differ — restores
+// that snapshot instead, producing byte-identical results. Claims are
+// single-flight: concurrent runs sharing a key block until the one owner
+// publishes, so a parallel sweep never executes the same warm-up twice.
+//
+// The zero value is not usable; construct with NewWarmPool. All methods are
+// safe for concurrent use.
+type WarmPool struct {
+	mu      sync.Mutex
+	entries map[string]*warmEntry
+	warmups uint64
+	hits    uint64
+}
+
+// NewWarmPool returns an empty pool.
+func NewWarmPool() *WarmPool {
+	return &WarmPool{entries: make(map[string]*warmEntry)}
+}
+
+// warmup advances b to its measured window: restoring a pooled state when
+// one exists for opt's warm key, executing (and publishing) the warm-up
+// otherwise.
+func (p *WarmPool) warmup(opt Options, b *built) error {
+	key := keyOf(opt)
+	p.mu.Lock()
+	e, ok := p.entries[key]
+	if !ok {
+		e = &warmEntry{ready: make(chan struct{})}
+		p.entries[key] = e
+		p.warmups++
+		p.mu.Unlock()
+		// Publish even on panic so waiters never hang; they will see a nil
+		// state and warm up independently.
+		defer close(e.ready)
+		b.runWarm()
+		e.state = b.checkpoint()
+		return nil
+	}
+	p.mu.Unlock()
+	<-e.ready
+	if e.state == nil {
+		// The owner's source was not snapshotable; warm up the slow way.
+		p.mu.Lock()
+		p.warmups++
+		p.mu.Unlock()
+		b.runWarm()
+		return nil
+	}
+	if err := b.restore(e.state); err != nil {
+		return fmt.Errorf("sim: warm fork: %w", err)
+	}
+	p.mu.Lock()
+	p.hits++
+	p.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *WarmPool) Stats() WarmStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return WarmStats{Warmups: p.warmups, Hits: p.hits, Entries: len(p.entries)}
+}

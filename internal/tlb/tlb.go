@@ -177,36 +177,96 @@ type entry struct {
 	lru   uint64 // larger = more recently used
 }
 
+// idxAssocMin is the associativity at which a level maintains a VPN → way
+// map beside the way array. The paper's TLBs are mostly fully associative
+// (up to 128 ways); scanning them linearly on every lookup dominates the
+// simulator's data path, while for the narrow set-associative shapes the
+// scan is cheaper than hashing. The map is purely an index — hits, misses,
+// LRU updates and victim choice are identical with and without it.
+const idxAssocMin = 16
+
 type level struct {
 	cfg     LevelConfig
 	sets    int
-	ways    []entry // sets × assoc, row-major
+	ways    []entry          // sets × assoc, row-major
+	idx     map[uint64]int32 // vpn → way index of the valid entry; nil for narrow assoc
 	lruTick uint64
+
+	// Most-recently-used lookup memo: way indices of the last two distinct
+	// VPNs that hit. Entries are validated against the way array before use,
+	// so they may go stale (eviction, invalidate, flush, restore) without any
+	// explicit maintenance; a stale or colliding memo just falls through to
+	// the exact path. Two slots cover the executor's two data streams.
+	hotVPN [2]uint64
+	hotIdx [2]int32
 }
 
 func newLevel(cfg LevelConfig) *level {
-	return &level{
+	l := &level{
 		cfg:  cfg,
 		sets: cfg.Entries / cfg.Assoc,
 		ways: make([]entry, cfg.Entries),
 	}
+	if cfg.Assoc >= idxAssocMin {
+		l.idx = make(map[uint64]int32, cfg.Entries)
+	}
+	return l
+}
+
+func (l *level) setBase(vpn uint64) int {
+	return (int(vpn) & (l.sets - 1)) * l.cfg.Assoc
 }
 
 func (l *level) set(vpn uint64) []entry {
-	s := int(vpn) & (l.sets - 1)
-	return l.ways[s*l.cfg.Assoc : (s+1)*l.cfg.Assoc]
+	b := l.setBase(vpn)
+	return l.ways[b : b+l.cfg.Assoc]
 }
 
 func (l *level) lookup(vpn uint64) (uint64, bool) {
-	ws := l.set(vpn)
+	// Memoized fast path; see the hotVPN/hotIdx field comment.
+	if vpn == l.hotVPN[0] {
+		if e := &l.ways[l.hotIdx[0]]; e.valid && e.vpn == vpn {
+			l.lruTick++
+			e.lru = l.lruTick
+			return e.pfn, true
+		}
+	} else if vpn == l.hotVPN[1] {
+		if e := &l.ways[l.hotIdx[1]]; e.valid && e.vpn == vpn {
+			l.hotVPN[0], l.hotVPN[1] = l.hotVPN[1], l.hotVPN[0]
+			l.hotIdx[0], l.hotIdx[1] = l.hotIdx[1], l.hotIdx[0]
+			l.lruTick++
+			e.lru = l.lruTick
+			return e.pfn, true
+		}
+	}
+	if l.idx != nil {
+		i, ok := l.idx[vpn]
+		if !ok {
+			return 0, false
+		}
+		l.remember(vpn, i)
+		e := &l.ways[i]
+		l.lruTick++
+		e.lru = l.lruTick
+		return e.pfn, true
+	}
+	base := l.setBase(vpn)
+	ws := l.ways[base : base+l.cfg.Assoc]
 	for i := range ws {
 		if ws[i].valid && ws[i].vpn == vpn {
+			l.remember(vpn, int32(base+i))
 			l.lruTick++
 			ws[i].lru = l.lruTick
 			return ws[i].pfn, true
 		}
 	}
 	return 0, false
+}
+
+// remember pushes a hit onto the two-slot memo.
+func (l *level) remember(vpn uint64, idx int32) {
+	l.hotVPN[1], l.hotIdx[1] = l.hotVPN[0], l.hotIdx[0]
+	l.hotVPN[0], l.hotIdx[0] = vpn, idx
 }
 
 func (l *level) insert(vpn, pfn uint64) {
@@ -221,6 +281,13 @@ func (l *level) insert(vpn, pfn uint64) {
 			victim = i
 		}
 	}
+	if l.idx != nil {
+		if ws[victim].valid {
+			delete(l.idx, ws[victim].vpn)
+		}
+		l.idx[vpn] = int32(l.setBase(vpn) + victim)
+	}
+	l.remember(vpn, int32(l.setBase(vpn)+victim))
 	l.lruTick++
 	ws[victim] = entry{vpn: vpn, pfn: pfn, valid: true, lru: l.lruTick}
 }
@@ -230,6 +297,9 @@ func (l *level) invalidate(vpn uint64) bool {
 	for i := range ws {
 		if ws[i].valid && ws[i].vpn == vpn {
 			ws[i].valid = false
+			if l.idx != nil {
+				delete(l.idx, vpn)
+			}
 			return true
 		}
 	}
@@ -239,6 +309,22 @@ func (l *level) invalidate(vpn uint64) bool {
 func (l *level) flush() {
 	for i := range l.ways {
 		l.ways[i].valid = false
+	}
+	if l.idx != nil {
+		l.idx = make(map[uint64]int32, l.cfg.Entries)
+	}
+}
+
+// reindex rebuilds the VPN map from the way array after a Restore.
+func (l *level) reindex() {
+	if l.idx == nil {
+		return
+	}
+	l.idx = make(map[uint64]int32, l.cfg.Entries)
+	for i := range l.ways {
+		if l.ways[i].valid {
+			l.idx[l.ways[i].vpn] = int32(i)
+		}
 	}
 }
 
@@ -294,6 +380,18 @@ type Result struct {
 // The walker must always succeed (the synthetic OS maps all code/data pages);
 // translation *faults* are modelled in internal/vm, not here.
 func (t *TLB) Lookup(vpn uint64, walk func(vpn uint64) uint64) Result {
+	// Monolithic TLBs (the common configuration) skip the level loop.
+	if len(t.levels) == 1 {
+		t.stats.Accesses[0]++
+		if t.meter != nil {
+			t.meter.AddAccess(0)
+		}
+		if pfn, ok := t.levels[0].lookup(vpn); ok {
+			t.stats.Hits[0]++
+			return Result{PFN: pfn, HitLevel: 0}
+		}
+		return t.walkFill(vpn, walk, t.cfg.MissPenalty)
+	}
 	if t.cfg.Parallel && len(t.levels) == 2 {
 		return t.lookupParallel(vpn, walk)
 	}
@@ -362,6 +460,52 @@ func (t *TLB) fill(li int, vpn, pfn uint64) {
 	if t.meter != nil {
 		t.meter.AddMiss(li)
 	}
+}
+
+// State is a deep snapshot of a TLB's contents and statistics, taken with
+// Snapshot and reinstated with Restore. It shares no memory with the TLB it
+// came from, so one snapshot can seed many TLBs concurrently.
+type State struct {
+	ways  [][]entry // per level
+	ticks []uint64
+	stats Stats
+}
+
+// Snapshot captures the TLB's full state: every entry of every level, the
+// per-level LRU ticks and the statistics.
+func (t *TLB) Snapshot() *State {
+	s := &State{
+		ticks: make([]uint64, len(t.levels)),
+		stats: t.Stats(),
+	}
+	for _, l := range t.levels {
+		s.ways = append(s.ways, append([]entry(nil), l.ways...))
+	}
+	for i, l := range t.levels {
+		s.ticks[i] = l.lruTick
+	}
+	return s
+}
+
+// Restore overwrites the TLB's state from a snapshot. The snapshot must come
+// from an identically configured TLB; the state is copied, never aliased.
+func (t *TLB) Restore(s *State) error {
+	if len(s.ways) != len(t.levels) {
+		return fmt.Errorf("tlb: snapshot has %d levels, TLB has %d", len(s.ways), len(t.levels))
+	}
+	for i, l := range t.levels {
+		if len(s.ways[i]) != len(l.ways) {
+			return fmt.Errorf("tlb: snapshot level %d has %d entries, TLB has %d (geometry mismatch)",
+				i, len(s.ways[i]), len(l.ways))
+		}
+		copy(l.ways, s.ways[i])
+		l.lruTick = s.ticks[i]
+		l.reindex()
+	}
+	copy(t.stats.Accesses, s.stats.Accesses)
+	copy(t.stats.Hits, s.stats.Hits)
+	t.stats.Walks = s.stats.Walks
+	return nil
 }
 
 // Invalidate removes vpn from every level, returning whether any entry was

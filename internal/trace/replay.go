@@ -63,7 +63,8 @@ type Replay struct {
 	stubPC   addr.VAddr
 	stubNext addr.VAddr
 
-	wraps uint64
+	wraps    uint64
+	produced uint64 // total steps handed out, including synthesized stubs/wraps
 }
 
 // NewReplay builds a Replay. open must return a fresh canonical-binary
@@ -259,6 +260,55 @@ func (r *Replay) rewind() error {
 // its content address, so decode or contract errors here mean the backing
 // file changed mid-run; they panic like the pipeline's own desync check.
 func (r *Replay) Step() program.Step {
+	r.produced++
+	return r.step()
+}
+
+// StepN implements program.Batcher: len(dst) consecutive steps in one call.
+func (r *Replay) StepN(dst []program.Step) {
+	for i := range dst {
+		dst[i] = r.step()
+	}
+	r.produced += uint64(len(dst))
+}
+
+// replayState is the Replay's SourceState. A replay's position is fully
+// determined by how many steps it has produced — stub interleaving, wrap
+// jumps and the reader cursor all replay deterministically from the start —
+// so the snapshot is a single counter and restore is rewind + fast-forward.
+type replayState struct {
+	produced uint64
+}
+
+// SnapshotState captures the replay position (program.Snapshotter).
+func (r *Replay) SnapshotState() program.SourceState {
+	return &replayState{produced: r.produced}
+}
+
+// RestoreState repositions the replay at a previously captured position. The
+// state carries no stream data, so it can seed any replay built over the same
+// trace. Restoring an earlier position (or onto a fresh replay) re-reads the
+// stream from the start.
+func (r *Replay) RestoreState(state program.SourceState) error {
+	s, ok := state.(*replayState)
+	if !ok {
+		return fmt.Errorf("trace: %T is not a replay state", state)
+	}
+	if s.produced < r.produced {
+		if err := r.rewind(); err != nil {
+			return err
+		}
+		r.stubPC, r.stubNext = 0, 0
+		r.wraps = 0
+		r.produced = 0
+	}
+	for r.produced < s.produced {
+		r.Step()
+	}
+	return nil
+}
+
+func (r *Replay) step() program.Step {
 	if r.stubPC != 0 {
 		in := r.img.At(r.stubPC)
 		if !in.BoundaryStub {

@@ -95,6 +95,15 @@ func (as *AddressSpace) Walk(vpn uint64) uint64 {
 	return pfn
 }
 
+// WalkN charges n consecutive walks of the same vpn — the wrong-path bulk
+// fetch path, where the oracle scheme walks once per fetch. Statistics and
+// first-touch mapping match n calls to Walk exactly.
+func (as *AddressSpace) WalkN(vpn uint64, n uint64) uint64 {
+	pfn := as.Walk(vpn)
+	as.stats.Walks += n - 1
+	return pfn
+}
+
 // Lookup returns the current mapping without allocating.
 func (as *AddressSpace) Lookup(vpn uint64) (uint64, bool) {
 	pfn, ok := as.pages[vpn]
@@ -165,6 +174,53 @@ func (as *AddressSpace) Unmap(vpn uint64) error {
 	as.stats.Unmaps++
 	as.broadcast(vpn)
 	return nil
+}
+
+// State is a deep snapshot of an address space's page table, pins, allocator
+// cursor and statistics, taken with Snapshot and reinstated with Restore. It
+// shares no memory with the space it came from. Invalidation hooks are NOT
+// part of the state: they belong to the components observing the space and
+// are re-registered when those components are rebuilt.
+type State struct {
+	pages  map[uint64]uint64
+	pinned map[uint64]bool
+	next   uint64
+	stats  Stats
+}
+
+// Snapshot captures the address space's full mapping state. The allocator
+// cursor (next) matters for determinism: frames for pages mapped after a
+// restore must match the frames the original space would have assigned.
+func (as *AddressSpace) Snapshot() *State {
+	s := &State{
+		pages:  make(map[uint64]uint64, len(as.pages)),
+		pinned: make(map[uint64]bool, len(as.pinned)),
+		next:   as.next,
+		stats:  as.stats,
+	}
+	for k, v := range as.pages {
+		s.pages[k] = v
+	}
+	for k, v := range as.pinned {
+		s.pinned[k] = v
+	}
+	return s
+}
+
+// Restore overwrites the address space's mapping state from a snapshot taken
+// on a space with the same geometry and ASID. The state is copied, never
+// aliased, so one snapshot can seed many spaces concurrently.
+func (as *AddressSpace) Restore(s *State) {
+	as.pages = make(map[uint64]uint64, len(s.pages))
+	as.pinned = make(map[uint64]bool, len(s.pinned))
+	for k, v := range s.pages {
+		as.pages[k] = v
+	}
+	for k, v := range s.pinned {
+		as.pinned[k] = v
+	}
+	as.next = s.next
+	as.stats = s.stats
 }
 
 // Stats returns a copy of the counters.

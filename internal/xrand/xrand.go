@@ -53,3 +53,13 @@ func (s *Source) Range(lo, hi int) int {
 func (s *Source) Fork(id uint64) *Source {
 	return New(s.Uint64() ^ (id * 0xD1B54A32D192ED03))
 }
+
+// State returns the stream's position. SplitMix64's entire state is one
+// word, so a (State, SetState) pair is an exact checkpoint/restore of the
+// stream: the restored source produces the same values the original would
+// have.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState rewinds (or fast-forwards) the stream to a position previously
+// captured with State.
+func (s *Source) SetState(state uint64) { s.state = state }
