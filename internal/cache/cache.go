@@ -112,12 +112,14 @@ func (c Config) Validate() error {
 // Sets returns the number of sets.
 func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Assoc) }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64
-}
+// Line state flags, stored in the high bits of each packed tag word. Block
+// numbers are addresses shifted right by blockBits, far below 2^62 for any
+// address space this simulator models, so the flags can never collide with
+// tag bits.
+const (
+	validFlag = 1 << 63
+	dirtyFlag = 1 << 62
+)
 
 // Stats counts cache activity.
 type Stats struct {
@@ -127,15 +129,42 @@ type Stats struct {
 }
 
 // Cache is a set-associative, LRU, optionally write-back cache.
+//
+// Line state is held struct-of-arrays — parallel tag and LRU slices indexed
+// by set*assoc+way — rather than as a slice of line structs, with the valid
+// and dirty bits packed into the high bits of each tag word: a probe touches
+// only the dense tag array (8 bytes per way, both ways of a 2-way set on one
+// host cache line) and a whole-way match is a single masked compare, which
+// keeps more of the simulated cache's directory in the host's cache. A
+// same-block memo (hotIB/hotTB/hotWay) short-circuits the set search entirely
+// when an access lands in the block the previous access hit or filled — the
+// dominant pattern for the dL1 under streaming loads and for back-to-back
+// fetch fills.
 type Cache struct {
 	cfg       Config
 	sets      int
 	assoc     int
 	writeBack bool
 	blockBits uint
-	lines     []line
-	tick      uint64
-	stats     Stats
+	setMask   uint64
+
+	// Struct-of-arrays line state, indexed set*assoc+way. A tags word is
+	// validFlag|dirtyFlag|block-number; a valid clean way holding block b
+	// compares equal to b|validFlag after masking off dirtyFlag.
+	tags []uint64
+	lru  []uint64
+
+	tick  uint64
+	stats Stats
+
+	// Same-block memo: index block, tag block and way of the most recent
+	// access (hit or fill). Every fill rewrites it and Flush/Restore drop
+	// it, so while hotOK is set, way hotWay is guaranteed valid and to hold
+	// tag hotTB — the memo can never produce a false hit.
+	hotIB  uint64
+	hotTB  uint64
+	hotWay int32
+	hotOK  bool
 }
 
 // New builds a cache, panicking on invalid geometry (a programming error).
@@ -147,32 +176,21 @@ func New(cfg Config) *Cache {
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		bb++
 	}
+	n := cfg.Sets() * cfg.Assoc
 	return &Cache{
 		cfg:       cfg,
 		sets:      cfg.Sets(),
 		assoc:     cfg.Assoc,
 		writeBack: cfg.WriteBack,
 		blockBits: bb,
-		lines:     make([]line, cfg.Sets()*cfg.Assoc),
+		setMask:   uint64(cfg.Sets() - 1),
+		tags:      make([]uint64, n),
+		lru:       make([]uint64, n),
 	}
 }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
-
-func (c *Cache) setIndex(indexAddr uint64) int {
-	return int(indexAddr>>c.blockBits) & (c.sets - 1)
-}
-
-func (c *Cache) tagOf(tagAddr uint64) uint64 {
-	// Tag carries every bit above the block offset so that (for example) two
-	// physical pages mapping to the same virtual index still disambiguate.
-	return tagAddr >> c.blockBits
-}
-
-func (c *Cache) ways(set int) []line {
-	return c.lines[set*c.cfg.Assoc : (set+1)*c.cfg.Assoc]
-}
 
 // Result describes one access.
 type Result struct {
@@ -184,101 +202,105 @@ type Result struct {
 
 // Access looks up the block containing the address. indexAddr selects the
 // set, tagAddr provides the tag (see package comment). On a miss the block is
-// filled. write marks the block dirty (for write-back caches).
+// filled. write marks the block dirty (for write-back caches). The memo check
+// and full lookup share one function body deliberately: Access is too large
+// to inline either way, and a single frame keeps the cold path one call deep.
 func (c *Cache) Access(indexAddr, tagAddr uint64, write bool) Result {
+	ib := indexAddr >> c.blockBits
+	tb := tagAddr >> c.blockBits
 	c.stats.Accesses++
-	set := c.setIndex(indexAddr)
-	tag := c.tagOf(tagAddr)
-	if c.assoc == 1 { // direct-mapped: one candidate line, no victim search
-		ln := &c.lines[set]
-		if ln.valid && ln.tag == tag {
-			c.tick++
-			ln.lru = c.tick
-			if write && c.writeBack {
-				ln.dirty = true
-			}
-			return Result{Hit: true}
+	c.tick++
+	if c.hotOK && ib == c.hotIB && tb == c.hotTB {
+		// Same block as the previous access: the memoized way is guaranteed
+		// valid and tagged tb (see the field comment), so only the LRU stamp,
+		// the dirty bit and the access count need touching — exactly what the
+		// full hit path below would do.
+		w := c.hotWay
+		c.lru[w] = c.tick
+		if write && c.writeBack {
+			c.tags[w] |= dirtyFlag
 		}
-		c.stats.Misses++
-		wb := ln.valid && ln.dirty
-		if wb {
-			c.stats.WriteBacks++
-		}
-		c.tick++
-		*ln = line{tag: tag, valid: true, dirty: write && c.writeBack, lru: c.tick}
-		return Result{Hit: false, WriteBack: wb}
+		return Result{Hit: true}
 	}
-	if c.assoc == 2 { // two-way: unrolled probe
-		base := set * 2
-		a, b := &c.lines[base], &c.lines[base+1]
-		if a.valid && a.tag == tag {
-			c.tick++
-			a.lru = c.tick
-			if write && c.writeBack {
-				a.dirty = true
-			}
-			return Result{Hit: true}
+	set := int(ib & c.setMask)
+	want := tb | validFlag
+	switch c.assoc {
+	case 1: // direct-mapped: one candidate way, no victim search
+		if c.tags[set]&^uint64(dirtyFlag) == want {
+			return c.hitWay(set, ib, tb, write)
 		}
-		if b.valid && b.tag == tag {
-			c.tick++
-			b.lru = c.tick
-			if write && c.writeBack {
-				b.dirty = true
-			}
-			return Result{Hit: true}
+		return c.fillWay(set, ib, tb, write)
+	case 2: // two-way: unrolled probe
+		a := set * 2
+		t0, t1 := c.tags[a], c.tags[a+1]
+		if t0&^uint64(dirtyFlag) == want {
+			return c.hitWay(a, ib, tb, write)
 		}
-		c.stats.Misses++
+		if t1&^uint64(dirtyFlag) == want {
+			return c.hitWay(a+1, ib, tb, write)
+		}
 		v := a
-		if a.valid && (!b.valid || b.lru < a.lru) {
-			v = b
+		if t0&validFlag != 0 && (t1&validFlag == 0 || c.lru[a+1] < c.lru[a]) {
+			v = a + 1
 		}
-		wb := v.valid && v.dirty
-		if wb {
-			c.stats.WriteBacks++
-		}
-		c.tick++
-		*v = line{tag: tag, valid: true, dirty: write && c.writeBack, lru: c.tick}
-		return Result{Hit: false, WriteBack: wb}
+		return c.fillWay(v, ib, tb, write)
 	}
 	base := set * c.assoc
-	ws := c.lines[base : base+c.assoc]
-	for i := range ws {
-		if ws[i].valid && ws[i].tag == tag {
-			c.tick++
-			ws[i].lru = c.tick
-			if write && c.writeBack {
-				ws[i].dirty = true
-			}
-			return Result{Hit: true}
+	for w := base; w < base+c.assoc; w++ {
+		if c.tags[w]&^uint64(dirtyFlag) == want {
+			return c.hitWay(w, ib, tb, write)
 		}
 	}
-	c.stats.Misses++
-	victim := 0
-	for i := range ws {
-		if !ws[i].valid {
-			victim = i
+	victim := base
+	for w := base; w < base+c.assoc; w++ {
+		if c.tags[w]&validFlag == 0 {
+			victim = w
 			break
 		}
-		if ws[i].lru < ws[victim].lru {
-			victim = i
+		if c.lru[w] < c.lru[victim] {
+			victim = w
 		}
 	}
-	wb := ws[victim].valid && ws[victim].dirty
+	return c.fillWay(victim, ib, tb, write)
+}
+
+// hitWay records a hit in way w and memoizes the block. The caller has
+// already counted the access and advanced the tick.
+func (c *Cache) hitWay(w int, ib, tb uint64, write bool) Result {
+	c.lru[w] = c.tick
+	if write && c.writeBack {
+		c.tags[w] |= dirtyFlag
+	}
+	c.hotIB, c.hotTB, c.hotWay, c.hotOK = ib, tb, int32(w), true
+	return Result{Hit: true}
+}
+
+// fillWay evicts way w (counting a write-back if it was dirty) and fills it
+// with block tb, memoizing the block. The caller has already counted the
+// access and advanced the tick.
+func (c *Cache) fillWay(w int, ib, tb uint64, write bool) Result {
+	c.stats.Misses++
+	wb := c.tags[w]&(validFlag|dirtyFlag) == validFlag|dirtyFlag
 	if wb {
 		c.stats.WriteBacks++
 	}
-	c.tick++
-	ws[victim] = line{tag: tag, valid: true, dirty: write && c.writeBack, lru: c.tick}
+	e := tb | validFlag
+	if write && c.writeBack {
+		e |= dirtyFlag
+	}
+	c.tags[w] = e
+	c.lru[w] = c.tick
+	c.hotIB, c.hotTB, c.hotWay, c.hotOK = ib, tb, int32(w), true
 	return Result{Hit: false, WriteBack: wb}
 }
 
 // Probe reports whether the block is resident without updating LRU or
 // filling — used by oracle accounting.
 func (c *Cache) Probe(indexAddr, tagAddr uint64) bool {
-	ws := c.ways(c.setIndex(indexAddr))
-	tag := c.tagOf(tagAddr)
-	for i := range ws {
-		if ws[i].valid && ws[i].tag == tag {
+	base := int((indexAddr>>c.blockBits)&c.setMask) * c.assoc
+	want := tagAddr>>c.blockBits | validFlag
+	for w := base; w < base+c.assoc; w++ {
+		if c.tags[w]&^uint64(dirtyFlag) == want {
 			return true
 		}
 	}
@@ -288,12 +310,14 @@ func (c *Cache) Probe(indexAddr, tagAddr uint64) bool {
 // Flush invalidates every line, returning how many dirty lines were dropped.
 func (c *Cache) Flush() int {
 	dirty := 0
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
+	for i := range c.tags {
+		if c.tags[i]&(validFlag|dirtyFlag) == validFlag|dirtyFlag {
 			dirty++
 		}
-		c.lines[i] = line{}
+		c.tags[i] = 0
+		c.lru[i] = 0
 	}
+	c.hotOK = false
 	return dirty
 }
 
@@ -301,16 +325,20 @@ func (c *Cache) Flush() int {
 // Snapshot and reinstated with Restore. It shares no memory with the cache
 // it came from, so one snapshot can seed many caches concurrently.
 type State struct {
-	lines []line
+	tags  []uint64
+	lru   []uint64
 	tick  uint64
 	stats Stats
 }
 
 // Snapshot captures the cache's full state: every line (tag, valid, dirty,
-// LRU), the LRU tick and the statistics.
+// LRU), the LRU tick and the statistics. The same-block memo is not state —
+// it is re-derived by the next access — so a restored cache behaves
+// identically to the snapshotted one from the first access on.
 func (c *Cache) Snapshot() *State {
 	return &State{
-		lines: append([]line(nil), c.lines...),
+		tags:  append([]uint64(nil), c.tags...),
+		lru:   append([]uint64(nil), c.lru...),
 		tick:  c.tick,
 		stats: c.stats,
 	}
@@ -320,13 +348,15 @@ func (c *Cache) Snapshot() *State {
 // come from an identically configured cache; the state is copied, never
 // aliased, so the snapshot stays reusable.
 func (c *Cache) Restore(s *State) error {
-	if len(s.lines) != len(c.lines) {
+	if len(s.tags) != len(c.tags) {
 		return fmt.Errorf("cache: snapshot has %d lines, cache has %d (geometry mismatch)",
-			len(s.lines), len(c.lines))
+			len(s.tags), len(c.tags))
 	}
-	copy(c.lines, s.lines)
+	copy(c.tags, s.tags)
+	copy(c.lru, s.lru)
 	c.tick = s.tick
 	c.stats = s.stats
+	c.hotOK = false
 	return nil
 }
 

@@ -155,6 +155,10 @@ func NewMeter(m *Model, levelsEntries, levelsAssoc []int) *Meter {
 // AddAccess records one lookup at the given TLB level.
 func (mt *Meter) AddAccess(level int) { mt.Accesses[level]++ }
 
+// AddAccesses records n lookups at the given TLB level at once (deferred
+// hot-slot accounting).
+func (mt *Meter) AddAccesses(level int, n uint64) { mt.Accesses[level] += n }
+
 // AddMiss records one miss (and refill) at the given TLB level.
 func (mt *Meter) AddMiss(level int) { mt.Misses[level]++ }
 

@@ -346,6 +346,7 @@ func (r *Runner) Prefetch(ctx context.Context, opts []sim.Options) error {
 	sim.Batch(ctx, jobs, sim.BatchOptions{
 		Workers: r.Workers,
 		Pool:    r.pool(),
+		Prewarm: true,
 		OnComplete: func(i int, res sim.Result, err error) {
 			if err == nil {
 				r.observeRun(res)
@@ -397,6 +398,7 @@ func (r *Runner) Batch(ctx context.Context, opts []sim.Options) ([]sim.Result, [
 		sim.Batch(ctx, jobs, sim.BatchOptions{
 			Workers: r.Workers,
 			Pool:    r.pool(),
+			Prewarm: true,
 			OnComplete: func(j int, res sim.Result, err error) {
 				if err == nil {
 					r.observeRun(res)

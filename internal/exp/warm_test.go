@@ -43,18 +43,18 @@ func TestWarmForkSweepByteIdentical(t *testing.T) {
 		t.Errorf("DisableWarmFork still used the pool: %+v", pstats.Warm)
 	}
 
-	// Forked: every executed simulation either ran a warm-up (first of its
-	// key) or forked one — and each distinct warm key warmed exactly once.
-	// The tech sweep runs 6 benchmarks × 2 schemes × 3 technology points =
-	// 36 simulations over 12 warm keys.
+	// Forked: the Prewarm pass warms each distinct warm key exactly once
+	// before the batch starts, and every executed simulation then forks a
+	// pooled snapshot. The tech sweep runs 6 benchmarks × 2 schemes × 3
+	// technology points = 36 simulations over 12 warm keys.
 	w := fstats.Warm
 	if w.Warmups != uint64(w.Entries) {
 		t.Errorf("warm-ups (%d) != distinct warm states (%d): some key warmed twice",
 			w.Warmups, w.Entries)
 	}
-	if got, want := int(w.Warmups)+int(w.Hits), fstats.Runs; got != want {
-		t.Errorf("warm-ups (%d) + forks (%d) = %d, want one per executed run (%d)",
-			w.Warmups, w.Hits, got, want)
+	if got, want := int(w.Hits), fstats.Runs; got != want {
+		t.Errorf("forks (%d) != executed runs (%d): a prewarmed sweep should fork every run",
+			got, want)
 	}
 	if w.Warmups*3 != uint64(fstats.Runs) {
 		t.Errorf("tech sweep should share each warm-up across its 3 technology points: "+

@@ -33,7 +33,7 @@ type stack struct {
 	meter  *energy.Meter
 }
 
-func buildStack(t *testing.T, cfg Config, img *program.Image, scheme core.Scheme, scalar bool) *stack {
+func buildStack(t testing.TB, cfg Config, img *program.Image, scheme core.Scheme, scalar bool) *stack {
 	t.Helper()
 	geom := img.Geom
 	space := vm.New(geom, 1)
@@ -68,7 +68,7 @@ func (s *stack) run(warm, n uint64) Result {
 	return res
 }
 
-func benchImage(t *testing.T, scheme core.Scheme) *program.Image {
+func benchImage(t testing.TB, scheme core.Scheme) *program.Image {
 	t.Helper()
 	p, err := workload.ByName("mesa")
 	if err != nil {

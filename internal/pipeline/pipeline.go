@@ -178,7 +178,7 @@ func (r Result) IPC() float64 {
 // program.Batcher sources: large enough to amortize the batched-call and
 // pre-refill snapshot overhead, small enough that a checkpoint replays it
 // instantly.
-const stepBufLen = 1024
+const stepBufLen = 256
 
 // Machine wires one benchmark image to one scheme/style configuration.
 type Machine struct {
@@ -195,14 +195,27 @@ type Machine struct {
 	pred   *bpred.Predictor
 
 	// Hot-path precomputation: every value below is fixed at construction
-	// and replaces a per-instruction switch, division or method call.
+	// and replaces a per-instruction switch, division, field chain or method
+	// call.
 	eager         bool                    // IL1Style is VIPT or PIPT (translate at fetch)
 	pipt          bool                    // IL1Style is PIPT
 	schemeBase    bool                    // engine scheme is core.Base
 	noCadence     bool                    // no periodic OS-pressure events configured
+	hasDataCFR    bool                    // cfg.DataCFR (§5 extension enabled)
 	il1BlockShift uint                    // log2(IL1.BlockBytes)
 	invWidth      float64                 // 1 / min(IssueWidth, CommitWidth)
+	l2Latency     int                     // cfg.L2.LatencyCycles
+	dramLatency   int                     // cfg.DRAMLatency
+	mlp           float64                 // cfg.MLPFactor
 	walkFn        func(vpn uint64) uint64 // bound m.space.Walk (avoids a per-miss closure)
+
+	// dhot memoizes the dTLB's most recent translation with deferred batched
+	// accounting (see tlb.HotSlot) — the data-side analogue of the iTLB hot
+	// slots. It layers under the data-CFR check in accountMem and is
+	// invalidated on context switch and on remap of its resident page,
+	// exactly like the data CFR. Every dTLB observation or mutation in this
+	// file must flush (or drop) it first.
+	dhot *tlb.HotSlot
 
 	// Correct-path step read-ahead. When the source is a program.Batcher,
 	// steps are pulled stepBufLen at a time into stepBuf and consumed from
@@ -270,13 +283,18 @@ func New(cfg Config, img *program.Image, ex program.Source,
 	m.pipt = cfg.IL1Style == cache.PIPT
 	m.schemeBase = engine.Scheme() == core.Base
 	m.noCadence = cfg.ContextSwitchEvery == 0 && cfg.RemapEvery == 0
+	m.hasDataCFR = cfg.DataCFR
 	m.il1BlockShift = uint(bits.TrailingZeros64(uint64(cfg.IL1.BlockBytes)))
 	width := cfg.IssueWidth
 	if cfg.CommitWidth < width {
 		width = cfg.CommitWidth
 	}
 	m.invWidth = 1 / float64(width)
+	m.l2Latency = cfg.L2.LatencyCycles
+	m.dramLatency = cfg.DRAMLatency
+	m.mlp = cfg.MLPFactor
 	m.walkFn = space.Walk
+	m.dhot = m.dtlb.NewHotSlot()
 	if b, ok := ex.(program.Batcher); ok {
 		m.batcher = b
 		m.stepBuf = make([]program.Step, stepBufLen)
@@ -285,16 +303,27 @@ func New(cfg Config, img *program.Image, ex program.Source,
 	m.snap, _ = ex.(program.Snapshotter)
 	m.fetchPC = img.Entry
 	m.sequential = true
-	if cfg.DataCFR {
-		// The OS invalidates the data CFR alongside the dTLB entry when the
-		// resident page is remapped, mirroring the instruction-side contract.
-		space.OnInvalidate(func(vpn uint64) {
-			if m.dcfrValid && m.dcfrVPN == vpn {
-				m.dcfrValid = false
-			}
-		})
-	}
+	// The OS invalidates the data-side translation registers — the data CFR
+	// and the dTLB hot slot — alongside the dTLB entry when the resident
+	// page is remapped, mirroring the instruction-side contract (§3.2).
+	space.OnInvalidate(func(vpn uint64) {
+		if m.dcfrValid && m.dcfrVPN == vpn {
+			m.dcfrValid = false
+		}
+		m.dhot.Invalidate()
+	})
 	return m, nil
+}
+
+// physAccess probes a physically-indexed, physically-tagged cache: the dL1
+// and the unified L2 always, and (via explicit call sites in fetch) the iL1
+// under PI-PT. Index and tag both derive from the same physical address —
+// the PIPT index==tag invariant — so this helper is the single place that
+// spells cache.Access(pa, pa, ...); routing every physical probe through it
+// keeps the invariant from silently drifting if the per-structure addressing
+// styles ever diverge.
+func physAccess(c *cache.Cache, pa addr.PAddr, write bool) cache.Result {
+	return c.Access(uint64(pa), uint64(pa), write)
 }
 
 // ResetStats discards all statistics gathered so far (warm-up) while keeping
@@ -309,6 +338,7 @@ func (m *Machine) ResetStats() {
 	m.il1.ResetStats()
 	m.dl1.ResetStats()
 	m.l2.ResetStats()
+	m.dhot.Flush() // settle deferred dTLB accounting before zeroing it
 	m.dtlb.ResetStats()
 	m.pred.ResetStats()
 	m.engine.ResetStats()
@@ -332,6 +362,7 @@ func (m *Machine) Run(n uint64) Result {
 	m.res.IL1 = m.il1.Stats()
 	m.res.L2 = m.l2.Stats()
 	m.res.DL1 = m.dl1.Stats()
+	m.dhot.Flush() // settle deferred dTLB accounting before reading it
 	m.res.DTLB = m.dtlb.Stats()
 	return m.res
 }
@@ -381,7 +412,7 @@ func (m *Machine) fetchInst(pc addr.VAddr, wrongPath bool) (stall int, usedTLB b
 		pa = out.PFN
 	}
 	stall += m.cfg.L2.LatencyCycles
-	if lr := m.l2.Access(uint64(pa), uint64(pa), false); !lr.Hit {
+	if lr := physAccess(m.l2, pa, false); !lr.Hit {
 		stall += m.cfg.DRAMLatency
 	}
 	return stall, usedTLB
@@ -516,6 +547,11 @@ func (m *Machine) bulkGroups() bool {
 	// the CFR, so its frame number is a constant for the whole call. (Unused
 	// under VI-VT, where OnIL1Miss translates at misses.)
 	cfrPFN := m.engine.CFRState().PFN
+	// Loop-invariant hoists: field loads the compiler cannot keep in
+	// registers across the accountMem/bulkBlockFill calls below.
+	stepBuf := m.stepBuf
+	invWidth := m.invWidth
+	blockShift := m.il1BlockShift
 	did := false
 	for {
 		avail := stepBufLen - m.stepPos
@@ -527,43 +563,75 @@ func (m *Machine) bulkGroups() bool {
 		}
 		i := m.stepPos
 		pc := m.fetchPC
-		vpn := m.geom.VPN(pc)
-		// Qualify one whole group before touching any state.
-		for k := 0; k < w; k++ {
-			s := &m.stepBuf[i+k]
-			if s.PC != pc || s.Next != pc+addr.InstBytes ||
-				!s.Inst.Plain || m.geom.VPN(s.Next) != vpn {
-				return did
-			}
-			pc += addr.InstBytes
-		}
-		if !m.engine.FetchTranslateRun(vpn, uint64(w)) {
+		if stepBuf[i].PC != pc {
+			// Machine and buffer disagree; the scalar path owns the desync
+			// panic.
 			return did
 		}
-		groupStall := 0
-		for k := 0; k < w; k++ {
-			s := &m.stepBuf[i+k]
-			if blk := uint64(s.PC) >> m.il1BlockShift; !m.haveBlock || blk != m.lastBlock {
-				m.lastBlock, m.haveBlock = blk, true
-				groupStall += m.bulkBlockFill(s.PC, cfrPFN, false)
-			}
-			// The first instruction after a redirect carries sequential=false
-			// into its (possible) VI-VT miss attribution, exactly like the
-			// scalar path; every later one is sequential.
-			m.sequential = true
-			// invWidth is added per instruction, not multiplied by w, so the
-			// floating-point sum matches the scalar path bit for bit.
-			m.backCycle += m.invWidth
-			if s.Inst.Kind.IsMem() {
-				m.accountMem(s)
-			}
+		vpn := m.geom.VPN(pc)
+		// Qualify a whole page-bounded run of plain steps before touching any
+		// state. The Source contract pins each step's PC to the previous
+		// step's Next and every plain step's Next to PC+InstBytes, so a run
+		// of plain steps starting at pc is w·G sequential instructions; its
+		// successors form the contiguous range pc+IB..pc+n·IB, which stays in
+		// pc's page iff the endpoint does (pages are power-of-two aligned).
+		// The per-slot PC/Next/VPN tests therefore collapse to one run-length
+		// bound plus a per-slot plain bit.
+		n := avail
+		if lim := int((((vpn + 1) << m.geom.PageBits) - 1 - uint64(pc)) / addr.InstBytes); n > lim {
+			n = lim
 		}
-		m.res.Committed += uint64(w)
-		m.totalCommitted += uint64(w)
-		m.frontCycle += uint64(1 + groupStall)
-		m.syncBackend()
-		m.stepPos = i + w
-		m.fetchPC = pc
+		n -= n % w
+		if n < w {
+			return did
+		}
+		q := 0
+		for q < n && stepBuf[i+q].Plain {
+			q++
+		}
+		q -= q % w
+		if q < w {
+			return did
+		}
+		// The engine's per-fetch work is linear in the count and its qualify
+		// condition depends only on CFR state, which nothing retired in bulk
+		// can change — one call covers the whole run exactly.
+		if !m.engine.FetchTranslateRun(vpn, uint64(q)) {
+			return did
+		}
+		// Each group's back-end accounting runs on a register-resident copy
+		// of the clock (bc), written back once per group: the same float
+		// additions in the same order as the scalar path — invWidth per
+		// instruction, never w·invWidth, interleaved with each memory op's
+		// latency, with syncBackend's clamp between groups — so the sum is
+		// bit-identical, without a field read-modify-write per slot.
+		for g := 0; g < q; g += w {
+			groupStall := 0
+			bc := m.backCycle
+			for k := 0; k < w; k++ {
+				s := &stepBuf[i+g+k]
+				if blk := uint64(s.PC) >> blockShift; !m.haveBlock || blk != m.lastBlock {
+					m.lastBlock, m.haveBlock = blk, true
+					groupStall += m.bulkBlockFill(s.PC, cfrPFN, false)
+				}
+				// The first instruction after a redirect carries
+				// sequential=false into its (possible) VI-VT miss
+				// attribution, exactly like the scalar path; every later one
+				// is sequential.
+				m.sequential = true
+				bc += invWidth
+				if s.Kind.IsMem() {
+					bc = m.accountMem(s, bc)
+				}
+			}
+			m.backCycle = bc
+			m.frontCycle += uint64(1 + groupStall)
+			m.syncBackend()
+		}
+		m.res.Committed += uint64(q)
+		m.totalCommitted += uint64(q)
+		m.stepPos = i + q
+		m.fetchPC = pc + addr.VAddr(q)*addr.InstBytes
 		did = true
 	}
 }
@@ -581,9 +649,9 @@ func (m *Machine) bulkBlockFill(pc addr.VAddr, pfn uint64, wrong bool) int {
 		if r := m.il1.Access(idx, uint64(pa), false); r.Hit {
 			return 0
 		}
-		stall := m.cfg.L2.LatencyCycles
-		if lr := m.l2.Access(uint64(pa), uint64(pa), false); !lr.Hit {
-			stall += m.cfg.DRAMLatency
+		stall := m.l2Latency
+		if lr := physAccess(m.l2, pa, false); !lr.Hit {
+			stall += m.dramLatency
 		}
 		return stall
 	}
@@ -591,9 +659,9 @@ func (m *Machine) bulkBlockFill(pc addr.VAddr, pfn uint64, wrong bool) int {
 		return 0
 	}
 	out := m.engine.OnIL1Miss(pc, m.sequential, wrong)
-	stall := out.StallCycles + m.cfg.L2.LatencyCycles
-	if lr := m.l2.Access(uint64(out.PFN), uint64(out.PFN), false); !lr.Hit {
-		stall += m.cfg.DRAMLatency
+	stall := out.StallCycles + m.l2Latency
+	if lr := physAccess(m.l2, out.PFN, false); !lr.Hit {
+		stall += m.dramLatency
 	}
 	return stall
 }
@@ -697,43 +765,57 @@ func (m *Machine) accountCommit(s *program.Step) {
 	}
 
 	// Back-end bandwidth.
-	m.backCycle += m.invWidth
+	bc := m.backCycle + m.invWidth
 
-	if s.Inst.Kind.IsMem() {
-		m.accountMem(s)
+	if s.Kind.IsMem() {
+		bc = m.accountMem(s, bc)
 	}
+	m.backCycle = bc
 
 	// Correct-path page-crossing statistics (Table 2).
 	m.accountCross(s)
 }
 
 // accountMem charges one memory instruction: dTLB (or data CFR) and the
-// dL1/L2/DRAM hierarchy, with MLP-scaled exposed latency.
-func (m *Machine) accountMem(s *program.Step) {
+// dL1/L2/DRAM hierarchy, with MLP-scaled exposed latency. The back-end clock
+// is threaded through by value (bc in, updated bc out) so the bulk path can
+// keep it in a register across a whole fetch group's memory ops instead of
+// re-reading and re-writing the field per op; the float additions happen in
+// exactly the order the clock field would have seen them, so the sum is
+// bit-identical. Translation layering: the data CFR (when enabled) is
+// checked first, then the dTLB hot slot — a memo of the most recent dTLB
+// translation with deferred batched accounting (tlb.HotSlot) — and only then
+// the dTLB proper.
+func (m *Machine) accountMem(s *program.Step, bc float64) float64 {
 	// With the data-CFR extension enabled, same-page references ride the
 	// register instead of the dTLB.
 	vpn := m.geom.VPN(s.Data)
 	var pa addr.PAddr
-	if m.cfg.DataCFR && m.dcfrValid && m.dcfrVPN == vpn {
+	if m.hasDataCFR && m.dcfrValid && m.dcfrVPN == vpn {
 		m.res.DCFRHits++
 		pa = m.geom.Translate(m.dcfrPFN, s.Data)
 	} else {
-		tr := m.dtlb.Lookup(vpn, m.walkFn)
-		m.backCycle += float64(tr.ExtraCycles)
-		if m.cfg.DataCFR {
+		tr := m.dhot.Lookup(vpn, m.walkFn)
+		if tr.ExtraCycles != 0 {
+			// Skipping the += 0.0 of a hit is exact: adding +0.0 to a
+			// non-negative float is the identity.
+			bc += float64(tr.ExtraCycles)
+		}
+		if m.hasDataCFR {
 			m.res.DCFRLookups++
 			m.dcfrVPN, m.dcfrPFN, m.dcfrValid = vpn, tr.PFN, true
 		}
 		pa = m.geom.Translate(tr.PFN, s.Data)
 	}
-	dr := m.dl1.Access(uint64(pa), uint64(pa), s.Inst.Kind == isa.Store)
+	dr := physAccess(m.dl1, pa, s.Kind == isa.Store)
 	if !dr.Hit {
-		lat := m.cfg.L2.LatencyCycles
-		if lr := m.l2.Access(uint64(pa), uint64(pa), dr.WriteBack); !lr.Hit {
-			lat += m.cfg.DRAMLatency
+		lat := m.l2Latency
+		if lr := physAccess(m.l2, pa, dr.WriteBack); !lr.Hit {
+			lat += m.dramLatency
 		}
-		m.backCycle += float64(lat) * m.cfg.MLPFactor
+		bc += float64(lat) * m.mlp
 	}
+	return bc
 }
 
 // accountCross maintains the page-crossing and dynamic-branch statistics
@@ -767,6 +849,7 @@ func (m *Machine) accountCross(s *program.Step) {
 func (m *Machine) contextSwitch() {
 	m.res.ContextSwitches++
 	m.engine.OnContextSwitch()
+	m.dhot.Invalidate() // settle deferred accounting, then drop the memo
 	m.dtlb.Flush()
 	m.dcfrValid = false
 	m.frontCycle += uint64(m.cfg.Bpred.MispredictPenalty) // drain/refill
@@ -794,10 +877,13 @@ func (m *Machine) injectRemap() {
 // more than `slack` cycles ahead of the back end, and the back end never
 // lags behind what has been delivered.
 func (m *Machine) syncBackend() {
-	if f := float64(m.frontCycle); m.backCycle < f-m.slack {
+	// The two clamps are mutually exclusive (raising backCycle to f-slack
+	// cannot push it past f+slack), so else-if is exact and the common
+	// no-clamp path costs one conversion and two compares.
+	f := float64(m.frontCycle)
+	if m.backCycle < f-m.slack {
 		m.backCycle = f - m.slack
-	}
-	if m.backCycle > float64(m.frontCycle)+m.slack {
+	} else if m.backCycle > f+m.slack {
 		m.frontCycle = uint64(m.backCycle - m.slack)
 	}
 }
@@ -850,6 +936,7 @@ func (m *Machine) Checkpoint() (*MachineState, bool) {
 	if m.snap == nil {
 		return nil, false
 	}
+	m.dhot.Flush() // settle deferred dTLB accounting before snapshotting it
 	st := &MachineState{
 		frontCycle:     m.frontCycle,
 		backCycle:      m.backCycle,
@@ -901,6 +988,9 @@ func (m *Machine) Restore(st *MachineState) error {
 	if err := m.l2.Restore(st.l2); err != nil {
 		return fmt.Errorf("pipeline: L2: %w", err)
 	}
+	// Deferred hot-slot accounting from the timeline being discarded must
+	// not leak into the restored state.
+	m.dhot.Drop()
 	if err := m.dtlb.Restore(st.dtlb); err != nil {
 		return fmt.Errorf("pipeline: dTLB: %w", err)
 	}

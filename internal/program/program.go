@@ -112,7 +112,12 @@ func (im *Image) Validate() error {
 type Step struct {
 	PC    addr.VAddr
 	Inst  *isa.Inst
-	Taken bool       // CTIs: whether control transferred
+	Taken bool     // CTIs: whether control transferred
+	Kind  isa.Kind // copy of Inst.Kind: the pipeline's bulk path reads the
+	// kind and plain bits per slot, and the copies keep that read inside the
+	// sequentially written step buffer instead of chasing Inst into a code
+	// image that may be far larger than the L1 cache.
+	Plain bool       // copy of Inst.Plain
 	Next  addr.VAddr // address of the next instruction on the correct path
 	Data  addr.VAddr // Load/Store: effective data address
 }
@@ -246,12 +251,61 @@ func (ex *Executor) Step() Step {
 // StepN executes len(dst) instructions, writing each outcome in place —
 // program.Batcher for the pipeline's step buffer. Equivalent to len(dst)
 // consecutive Step calls (same RNG consumption, same stack discipline), but
-// the per-instruction work runs in one tight loop without interface dispatch
-// or struct-return copies.
+// the interpreter body is specialized here with the image, code slice and PC
+// held in locals across the whole batch instead of reloaded through ex per
+// instruction — the cursor writes back once at the end.
 func (ex *Executor) StepN(dst []Step) {
+	img := ex.img
+	base, end := img.Base, ex.end
+	code := img.Code
+	pc := ex.pc
 	for i := range dst {
-		ex.stepInto(&dst[i])
+		st := &dst[i]
+		if pc < base || pc >= end {
+			panic(fmt.Sprintf("program %s: correct path escaped image at %#x", img.Name, uint64(pc)))
+		}
+		in := &code[(pc-base)/addr.InstBytes]
+		st.PC = pc
+		st.Inst = in
+		st.Taken = false
+		st.Kind = in.Kind
+		st.Plain = in.Plain
+		st.Data = 0
+		next := pc + addr.InstBytes
+		switch in.Kind {
+		case isa.CondBranch:
+			if ex.rng.Bool(float64(in.TakenBias)) {
+				st.Taken = true
+				next = in.Target
+			}
+		case isa.Jump:
+			st.Taken = true
+			next = in.Target
+		case isa.Call:
+			st.Taken = true
+			next = in.Target
+			if len(ex.stack) < maxCallDepth {
+				ex.stack = append(ex.stack, pc+addr.InstBytes)
+			}
+		case isa.Ret:
+			st.Taken = true
+			if n := len(ex.stack); n > 0 {
+				next = ex.stack[n-1]
+				ex.stack = ex.stack[:n-1]
+			} else {
+				next = img.Entry
+			}
+		case isa.IndJump:
+			st.Taken = true
+			next = ex.pickIndirect(in)
+		case isa.Load, isa.Store:
+			st.Data = ex.nextData(int(in.DataStream))
+		}
+		st.Next = next
+		pc = next
 	}
+	ex.pc = pc
+	ex.steps += uint64(len(dst))
 }
 
 // stepInto is the single-instruction interpreter shared by Step and StepN.
@@ -265,6 +319,8 @@ func (ex *Executor) stepInto(st *Step) {
 	st.PC = pc
 	st.Inst = in
 	st.Taken = false
+	st.Kind = in.Kind
+	st.Plain = in.Plain
 	st.Next = pc + addr.InstBytes
 	st.Data = 0
 

@@ -23,6 +23,12 @@ type BatchOptions struct {
 	// equal warm keys execute one warm-up and fork its snapshot (see
 	// WarmPool). Results are byte-identical with or without it.
 	Pool *WarmPool
+
+	// Prewarm, when set (and Pool is non-nil), warms every distinct warm key
+	// in the batch up front over the same worker pool before any simulation
+	// starts (see WarmPool.Prewarm), so workers are never serialized behind
+	// one single-flight warm-up owner when same-key jobs cluster together.
+	Prewarm bool
 }
 
 // Batch runs every job over a bounded worker pool and returns results and
@@ -34,6 +40,9 @@ type BatchOptions struct {
 func Batch(ctx context.Context, jobs []Options, opts BatchOptions) ([]Result, []error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
+	if opts.Pool != nil && opts.Prewarm {
+		opts.Pool.Prewarm(ctx, jobs, opts.Workers)
+	}
 	runBatch(ctx, len(jobs), opts.Workers, func(i int) error {
 		var err error
 		results[i], err = RunWith(jobs[i], opts.Pool)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -127,18 +128,27 @@ func NewWarmPool() *WarmPool {
 	return &WarmPool{entries: make(map[string]*warmEntry)}
 }
 
+// claim returns the pool slot for key, creating it when absent. owned
+// reports that the caller created the slot: it must publish a state (or
+// leave it nil) and close ready, exactly once.
+func (p *WarmPool) claim(key string) (e *warmEntry, owned bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[key]; ok {
+		return e, false
+	}
+	e = &warmEntry{ready: make(chan struct{})}
+	p.entries[key] = e
+	p.warmups++
+	return e, true
+}
+
 // warmup advances b to its measured window: restoring a pooled state when
 // one exists for opt's warm key, executing (and publishing) the warm-up
 // otherwise.
 func (p *WarmPool) warmup(opt Options, b *built) error {
-	key := keyOf(opt)
-	p.mu.Lock()
-	e, ok := p.entries[key]
-	if !ok {
-		e = &warmEntry{ready: make(chan struct{})}
-		p.entries[key] = e
-		p.warmups++
-		p.mu.Unlock()
+	e, owned := p.claim(keyOf(opt))
+	if owned {
 		// Publish even on panic so waiters never hang; they will see a nil
 		// state and warm up independently.
 		defer close(e.ready)
@@ -146,7 +156,6 @@ func (p *WarmPool) warmup(opt Options, b *built) error {
 		e.state = b.checkpoint()
 		return nil
 	}
-	p.mu.Unlock()
 	<-e.ready
 	if e.state == nil {
 		// The owner's source was not snapshotable; warm up the slow way.
@@ -163,6 +172,59 @@ func (p *WarmPool) warmup(opt Options, b *built) error {
 	p.hits++
 	p.mu.Unlock()
 	return nil
+}
+
+// Prewarm executes the warm-up of every distinct warm key in jobs over a
+// bounded worker pool (zero or negative workers selects runtime.NumCPU()),
+// publishing each post-warm-up snapshot into the pool before returning.
+// Without it a sweep whose same-key jobs cluster together leaves most Batch
+// workers blocked on the one single-flight warm-up owner; prewarming claims
+// the distinct keys up front so they warm concurrently, and the batch proper
+// then forks snapshots everywhere.
+//
+// Invalid options and build failures are skipped silently here — their slots
+// publish a nil state, so affected runs warm up on their own and report the
+// error through the ordinary path. A canceled ctx likewise releases every
+// unstarted slot with a nil state; Prewarm never leaves a claimed slot
+// unpublished. Results are byte-identical with or without a Prewarm pass.
+func (p *WarmPool) Prewarm(ctx context.Context, jobs []Options, workers int) {
+	type job struct {
+		opt Options
+		e   *warmEntry
+	}
+	var own []job
+	seen := make(map[string]bool)
+	for _, o := range jobs {
+		if o.Validate() != nil {
+			continue
+		}
+		key := keyOf(o)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		e, owned := p.claim(key)
+		if !owned {
+			continue
+		}
+		own = append(own, job{opt: o, e: e})
+	}
+	runBatch(ctx, len(own), workers, func(i int) error {
+		b, err := build(own[i].opt)
+		if err != nil {
+			return err
+		}
+		if b.closer != nil {
+			defer b.closer.Close()
+		}
+		b.runWarm()
+		own[i].e.state = b.checkpoint()
+		return nil
+	}, func(i int, err error) {
+		// Publication doubles as the release for jobs the context drained
+		// before they ran: a nil state sends waiters down the self-warm path.
+		close(own[i].e.ready)
+	})
 }
 
 // Stats returns a snapshot of the pool's counters.

@@ -174,6 +174,91 @@ func TestBatchSharesPool(t *testing.T) {
 	}
 }
 
+// TestPrewarmWarmsEachKeyOnce checks the prewarm pass directly: given a job
+// list spanning two warm keys (with same-key jobs clustered, the worst case
+// for single-flight claiming), Prewarm executes exactly one warm-up per
+// distinct key, and the batch that follows forks every run while matching
+// the unpooled results byte for byte.
+func TestPrewarmWarmsEachKeyOnce(t *testing.T) {
+	jobs := []Options{
+		warmTestOptions(t, core.IA),
+		warmTestOptions(t, core.IA),
+		warmTestOptions(t, core.HoA),
+		warmTestOptions(t, core.HoA),
+	}
+	jobs[1].Instructions = 30_000 // same warm key as jobs[0]
+	jobs[3].Instructions = 30_000 // same warm key as jobs[2]
+
+	pool := NewWarmPool()
+	pool.Prewarm(context.Background(), jobs, 2)
+	if st := pool.Stats(); st.Warmups != 2 || st.Hits != 0 || st.Entries != 2 {
+		t.Fatalf("after Prewarm: stats = %+v, want 2 warm-ups, 0 hits, 2 entries", st)
+	}
+
+	pooled, errsP := Batch(context.Background(), jobs,
+		BatchOptions{Workers: 4, Pool: pool, Prewarm: true})
+	plain, errs := Batch(context.Background(), jobs, BatchOptions{Workers: 4})
+	for i := range jobs {
+		if errsP[i] != nil || errs[i] != nil {
+			t.Fatalf("job %d: %v / %v", i, errsP[i], errs[i])
+		}
+		if !reflect.DeepEqual(stripWall(pooled[i]), stripWall(plain[i])) {
+			t.Errorf("job %d diverges after prewarm:\npooled: %+v\nplain:  %+v",
+				i, stripWall(pooled[i]), stripWall(plain[i]))
+		}
+	}
+	st := pool.Stats()
+	if st.Warmups != 2 {
+		t.Errorf("prewarmed batch ran %d warm-ups for two warm keys, want 2 (%+v)",
+			st.Warmups, st)
+	}
+	if st.Hits != uint64(len(jobs)) {
+		t.Errorf("prewarmed batch forked %d times, want every run (%d) (%+v)",
+			st.Hits, len(jobs), st)
+	}
+}
+
+// TestPrewarmSkipsInvalidAndDuplicates checks the edges Prewarm documents:
+// invalid options are ignored (their runs fail through the ordinary path)
+// and a second Prewarm over the same jobs is a no-op.
+func TestPrewarmSkipsInvalidAndDuplicates(t *testing.T) {
+	good := warmTestOptions(t, core.IA)
+	jobs := []Options{good, {} /* invalid: no profile */, good}
+	pool := NewWarmPool()
+	pool.Prewarm(context.Background(), jobs, 2)
+	pool.Prewarm(context.Background(), jobs, 2)
+	if st := pool.Stats(); st.Warmups != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want exactly 1 warm-up and 1 entry", st)
+	}
+}
+
+// TestPrewarmCanceledContext checks that a canceled prewarm never strands a
+// claimed slot: the drained slots publish nil states, so later runs take the
+// self-warm fallback and still produce the plain result.
+func TestPrewarmCanceledContext(t *testing.T) {
+	opt := warmTestOptions(t, core.IA)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pool := NewWarmPool()
+	pool.Prewarm(ctx, []Options{opt}, 2) // must not hang or leave ready open
+	got, err := RunWith(opt, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripWall(plain), stripWall(got)) {
+		t.Errorf("self-warm fallback diverges from plain Run:\nplain: %+v\ngot:   %+v",
+			stripWall(plain), stripWall(got))
+	}
+	// One warm-up counted at claim time, one for the fallback.
+	if st := pool.Stats(); st.Warmups != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 warm-ups (claim + fallback), 0 hits", st)
+	}
+}
+
 // benchFamily is a warm-key-sharing family: one architectural
 // configuration at six technology points, the shape of the exp tech
 // sweep. With the pool the family costs one warm-up + six measured

@@ -314,7 +314,7 @@ func (r *Replay) step() program.Step {
 		if !in.BoundaryStub {
 			panic(fmt.Sprintf("trace: expected BOUNDARY stub at %#x", uint64(r.stubPC)))
 		}
-		st := program.Step{PC: r.stubPC, Inst: in, Taken: true, Next: r.stubNext}
+		st := program.Step{PC: r.stubPC, Inst: in, Taken: true, Kind: in.Kind, Plain: in.Plain, Next: r.stubNext}
 		r.stubPC, r.stubNext = 0, 0
 		return st
 	}
@@ -330,7 +330,7 @@ func (r *Replay) step() program.Step {
 		if err := r.rewind(); err != nil {
 			panic(fmt.Sprintf("trace: %v", err))
 		}
-		return program.Step{PC: pcN, Inst: &r.wrapInst, Taken: true, Next: r.entry}
+		return program.Step{PC: pcN, Inst: &r.wrapInst, Taken: true, Kind: r.wrapInst.Kind, Plain: r.wrapInst.Plain, Next: r.entry}
 	}
 	if err != nil {
 		panic(fmt.Sprintf("trace: replay desynchronized from validated stream: %v", err))
@@ -340,7 +340,8 @@ func (r *Replay) step() program.Step {
 	}
 	r.cur = nx
 
-	st := program.Step{PC: pcN, Inst: r.img.At(pcN), Taken: cur.Taken}
+	in := r.img.At(pcN)
+	st := program.Step{PC: pcN, Inst: in, Taken: cur.Taken, Kind: in.Kind, Plain: in.Plain}
 	nxN := r.amap.Map(addr.VAddr(nx.PC))
 	if cur.Taken {
 		st.Next = nxN
